@@ -1,0 +1,112 @@
+package parsimone
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (§5), each regenerating its experiment at Quick scale through the same
+// harness as cmd/benchtab (run `benchtab all` for the full reduced-scale
+// reproduction and EXPERIMENTS.md for the recorded results). The benchmark
+// time is the time to regenerate the whole experiment.
+
+import (
+	"io"
+	"testing"
+
+	"parsimone/internal/bench"
+)
+
+// runExperiment regenerates experiment id once per benchmark iteration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, err := bench.Run(id, bench.Quick)
+		if err != nil {
+			b.Fatal(err)
+		}
+		table.Fprint(io.Discard)
+	}
+}
+
+// BenchmarkTable1 regenerates Table 1: reference (Lemon-Tree-style) vs
+// optimized sequential run time with output-identity verification.
+func BenchmarkTable1(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkFig3 regenerates Figure 3: sequential run-time growth vs m.
+func BenchmarkFig3(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4 regenerates Figure 4: sequential run-time growth vs n.
+func BenchmarkFig4(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5a regenerates Figure 5a: sequential per-task breakdown.
+func BenchmarkFig5a(b *testing.B) { runExperiment(b, "fig5a") }
+
+// BenchmarkFig5b regenerates Figure 5b: strong-scaling speedup p=2…1024.
+func BenchmarkFig5b(b *testing.B) { runExperiment(b, "fig5b") }
+
+// BenchmarkFig5c regenerates Figure 5c: per-task breakdown at p=1024.
+func BenchmarkFig5c(b *testing.B) { runExperiment(b, "fig5c") }
+
+// BenchmarkFig6 regenerates Figure 6: the complete yeast-scale data set,
+// p=4…4096 relative to T₄.
+func BenchmarkFig6(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkTable2 regenerates Table 2: the complete thaliana-scale data
+// set, p=256…4096 relative to T₂₅₆.
+func BenchmarkTable2(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkImbalance regenerates the §5.3.1 load-imbalance measurement.
+func BenchmarkImbalance(b *testing.B) { runExperiment(b, "imbalance") }
+
+// BenchmarkAblationDist regenerates the split-distribution-scheme ablation
+// (fine vs coarse vs dynamic; §3.2.3 and §6).
+func BenchmarkAblationDist(b *testing.B) { runExperiment(b, "ablation-dist") }
+
+// BenchmarkEstimate regenerates the §5.2.2 m² extrapolation check.
+func BenchmarkEstimate(b *testing.B) { runExperiment(b, "estimate") }
+
+// BenchmarkDeterminism regenerates the §4.2 output-identity verification.
+func BenchmarkDeterminism(b *testing.B) { runExperiment(b, "determinism") }
+
+// BenchmarkLearnSequential measures the optimized sequential engine on the
+// Quick yeast-scale workload (end-to-end pipeline time).
+func BenchmarkLearnSequential(b *testing.B) {
+	data, _, err := GenerateSynthetic(SynthConfig{N: 80, M: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Module.Splits.MaxSteps = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Learn(data, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLearnParallelP4 measures the message-passing engine at p=4 on
+// the same workload (wall time on this host reflects runtime overhead, not
+// physical speedup; see DESIGN.md).
+func BenchmarkLearnParallelP4(b *testing.B) {
+	data, _, err := GenerateSynthetic(SynthConfig{N: 80, M: 30, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := DefaultOptions()
+	opt.Module.Splits.MaxSteps = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LearnParallel(4, data, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompareGenomica regenerates the §1.1 robustness comparison
+// between the Lemon-Tree pipeline and the GENOMICA two-step algorithm.
+func BenchmarkCompareGenomica(b *testing.B) { runExperiment(b, "compare-genomica") }
+
+// BenchmarkCrossVal regenerates the held-out cross-validation check.
+func BenchmarkCrossVal(b *testing.B) { runExperiment(b, "crossval") }
+
+// BenchmarkCommVolume regenerates the measured communication-volume
+// comparison of the three split distribution paths.
+func BenchmarkCommVolume(b *testing.B) { runExperiment(b, "comm-volume") }

@@ -1,0 +1,61 @@
+// Command benchtab regenerates the tables and figures of the paper's
+// evaluation section (§5) at reduced scale. Each experiment prints the same
+// rows or series the paper reports, with the paper's values noted for
+// comparison.
+//
+// Usage:
+//
+//	benchtab [-quick] [-list] <experiment>...
+//	benchtab all
+//
+// Experiments: table1, fig3, fig4, fig5a, fig5b, fig5c, fig6, table2,
+// imbalance, ablation-dist, estimate, determinism.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"parsimone/internal/bench"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the reduced CI-scale experiment sizes")
+	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchtab [-quick] [-list] <experiment>...|all\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", bench.Experiments())
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *list {
+		for _, id := range bench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+	ids := flag.Args()
+	if len(ids) == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = bench.Experiments()
+	}
+	scale := bench.Full
+	if *quick {
+		scale = bench.Quick
+	}
+	for _, id := range ids {
+		start := time.Now()
+		table, err := bench.Run(id, scale)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		table.Fprint(os.Stdout)
+		fmt.Printf("  [%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+}

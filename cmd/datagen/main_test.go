@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parsimone/internal/dataset"
+)
+
+func TestRunWritesDataAndTruth(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "d.tsv")
+	truth := filepath.Join(dir, "t.tsv")
+	err := run([]string{"-n", "40", "-m", "20", "-modules", "3", "-out", out, "-truth", truth})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := dataset.LoadTSV(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.N != 40 || d.M != 20 {
+		t.Fatalf("shape %dx%d", d.N, d.M)
+	}
+	raw, err := os.ReadFile(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# gene\tmodule", "# module\tregulators", "# observation\tgroup"} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("truth file missing %q", want)
+		}
+	}
+}
+
+func TestRunDeterministicOutput(t *testing.T) {
+	dir := t.TempDir()
+	a := filepath.Join(dir, "a.tsv")
+	b := filepath.Join(dir, "b.tsv")
+	if err := run([]string{"-n", "20", "-m", "10", "-seed", "5", "-out", a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "20", "-m", "10", "-seed", "5", "-out", b}); err != nil {
+		t.Fatal(err)
+	}
+	ba, _ := os.ReadFile(a)
+	bb, _ := os.ReadFile(b)
+	if string(ba) != string(bb) {
+		t.Fatal("same seed produced different files")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if err := run([]string{"-n", "2", "-m", "2", "-out", filepath.Join(t.TempDir(), "x.tsv")}); err == nil {
+		t.Fatal("tiny config accepted")
+	}
+}

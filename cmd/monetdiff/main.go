@@ -1,0 +1,105 @@
+// Command monetdiff compares two learned module networks (XML, as written
+// by cmd/parsimone) and reports whether they are exactly identical — the
+// §4.2/§5.2.1 verification as a standalone artifact check — and, when they
+// differ, where.
+//
+// Usage:
+//
+//	monetdiff a.xml b.xml
+//
+// Exit status 0 when identical, 1 when different, 2 on usage/IO errors.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"parsimone/internal/result"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monetdiff:", err)
+	}
+	os.Exit(code)
+}
+
+// run compares the two files and returns the exit code (0 identical,
+// 1 different, 2 usage/IO error).
+func run(args []string, stdout io.Writer) (int, error) {
+	if len(args) != 2 {
+		return 2, fmt.Errorf("usage: monetdiff <a.xml> <b.xml>")
+	}
+	a, err := load(args[0])
+	if err != nil {
+		return 2, err
+	}
+	b, err := load(args[1])
+	if err != nil {
+		return 2, err
+	}
+	if result.Equal(a, b) {
+		fmt.Fprintln(stdout, "identical")
+		return 0, nil
+	}
+	fmt.Fprintln(stdout, "DIFFERENT")
+	diff(stdout, a, b)
+	return 1, nil
+}
+
+func load(path string) (*result.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	n, err := result.ReadXML(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return n, nil
+}
+
+// diff prints a first-difference report.
+func diff(w io.Writer, a, b *result.Network) {
+	if a.N != b.N || a.M != b.M {
+		fmt.Fprintf(w, "  shape: %dx%d vs %dx%d\n", a.N, a.M, b.N, b.M)
+	}
+	if len(a.Modules) != len(b.Modules) {
+		fmt.Fprintf(w, "  module count: %d vs %d\n", len(a.Modules), len(b.Modules))
+		return
+	}
+	for i := range a.Modules {
+		am, bm := a.Modules[i], b.Modules[i]
+		if !sliceEq(am.Variables, bm.Variables) {
+			fmt.Fprintf(w, "  module %d membership differs (%d vs %d variables)\n",
+				am.ID, len(am.Variables), len(bm.Variables))
+			continue
+		}
+		if len(am.Parents) != len(bm.Parents) {
+			fmt.Fprintf(w, "  module %d parent count: %d vs %d\n", am.ID, len(am.Parents), len(bm.Parents))
+			continue
+		}
+		for pi := range am.Parents {
+			if am.Parents[pi] != bm.Parents[pi] {
+				fmt.Fprintf(w, "  module %d parent %d: %+v vs %+v\n",
+					am.ID, pi, am.Parents[pi], bm.Parents[pi])
+				break
+			}
+		}
+	}
+}
+
+func sliceEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parsimone/internal/result"
+)
+
+func writeNet(t *testing.T, dir, name string, n *result.Network) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := n.WriteXML(f); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func sampleNet() *result.Network {
+	return &result.Network{
+		N: 4, M: 5,
+		Modules: []result.Module{
+			{ID: 0, Variables: []int{0, 1}, Parents: []result.Parent{{Index: 2, Score: 0.9, Count: 1}}},
+			{ID: 1, Variables: []int{2, 3}},
+		},
+	}
+}
+
+func TestRunIdentical(t *testing.T) {
+	dir := t.TempDir()
+	a := writeNet(t, dir, "a.xml", sampleNet())
+	b := writeNet(t, dir, "b.xml", sampleNet())
+	var buf bytes.Buffer
+	code, err := run([]string{a, b}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("code %d err %v", code, err)
+	}
+	if !strings.Contains(buf.String(), "identical") {
+		t.Fatalf("output %q", buf.String())
+	}
+}
+
+func TestRunDifferent(t *testing.T) {
+	dir := t.TempDir()
+	a := writeNet(t, dir, "a.xml", sampleNet())
+	other := sampleNet()
+	other.Modules[0].Parents[0].Score = 0.5
+	b := writeNet(t, dir, "b.xml", other)
+	var buf bytes.Buffer
+	code, err := run([]string{a, b}, &buf)
+	if err != nil || code != 1 {
+		t.Fatalf("code %d err %v", code, err)
+	}
+	if !strings.Contains(buf.String(), "DIFFERENT") || !strings.Contains(buf.String(), "parent") {
+		t.Fatalf("output %q", buf.String())
+	}
+}
+
+func TestRunUsageAndIOErrors(t *testing.T) {
+	if code, err := run([]string{"only-one"}, new(bytes.Buffer)); code != 2 || err == nil {
+		t.Fatal("usage error not reported")
+	}
+	if code, err := run([]string{"/missing/a.xml", "/missing/b.xml"}, new(bytes.Buffer)); code != 2 || err == nil {
+		t.Fatal("IO error not reported")
+	}
+}

@@ -1,0 +1,151 @@
+// Command parsimone learns a module network from a TSV expression data set,
+// mirroring the paper's tool: GaneSH co-clustering, consensus clustering,
+// and module learning, sequentially or on p message-passing ranks (the
+// network is identical either way).
+//
+// Usage:
+//
+//	parsimone -in expression.tsv -out network.xml [flags]
+//
+// Input format: one row per variable — name, then one tab-separated value
+// per observation; an optional header line is skipped.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"parsimone/internal/core"
+	"parsimone/internal/dataset"
+	"parsimone/internal/result"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "parsimone:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the CLI with its own flag set so it is testable.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("parsimone", flag.ContinueOnError)
+	var (
+		in         = fs.String("in", "", "input TSV expression matrix (required)")
+		out        = fs.String("out", "network.xml", "output network file (.xml or .json)")
+		ranks      = fs.Int("p", 1, "number of message-passing ranks")
+		seed       = fs.Uint64("seed", 1, "PRNG seed")
+		ganeshRuns = fs.Int("ganesh-runs", 1, "number of GaneSH co-clustering runs (G)")
+		updates    = fs.Int("updates", 1, "GaneSH update steps per run (U)")
+		treeRuns   = fs.Int("trees", 1, "regression trees per module (R)")
+		numSplits  = fs.Int("splits", 2, "splits chosen per tree node (J)")
+		maxSteps   = fs.Int("max-steps", 64, "bootstrap sampling cap per split (S)")
+		dist       = fs.String("dist", "static", "parallel split distribution: static, scan, or dynamic")
+		regulators = fs.String("regulators", "", "comma-separated candidate regulator names (default: all variables)")
+		subN       = fs.Int("n", 0, "use only the first n variables (0 = all)")
+		subM       = fs.Int("m", 0, "use only the first m observations (0 = all)")
+		acyclic    = fs.Bool("acyclic", false, "print the acyclic module graph after learning")
+		quiet      = fs.Bool("quiet", false, "suppress progress output")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		fs.Usage()
+		return fmt.Errorf("-in is required")
+	}
+
+	d, err := dataset.LoadTSV(*in)
+	if err != nil {
+		return err
+	}
+	if *subN > 0 || *subM > 0 {
+		n, m := d.N, d.M
+		if *subN > 0 {
+			n = *subN
+		}
+		if *subM > 0 {
+			m = *subM
+		}
+		if d, err = d.Subset(n, m); err != nil {
+			return err
+		}
+	}
+	logf := func(format string, args ...any) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+	}
+	logf("loaded %d variables × %d observations from %s", d.N, d.M, *in)
+
+	opt := core.DefaultOptions()
+	opt.Seed = *seed
+	opt.GaneshRuns = *ganeshRuns
+	opt.Ganesh.Updates = *updates
+	opt.Module.Tree.Updates = *treeRuns + opt.Module.Tree.Burnin
+	opt.Module.Splits.NumSplits = *numSplits
+	opt.Module.Splits.MaxSteps = *maxSteps
+	switch *dist {
+	case "static":
+	case "scan":
+		opt.Module.Splits.ScanSelection = true
+	case "dynamic":
+		opt.Module.Splits.DynamicChunk = 64
+	default:
+		return fmt.Errorf("unknown -dist %q (want static, scan, or dynamic)", *dist)
+	}
+	if *regulators != "" {
+		index := map[string]int{}
+		for i, name := range d.Names {
+			index[name] = i
+		}
+		for _, name := range strings.Split(*regulators, ",") {
+			name = strings.TrimSpace(name)
+			i, ok := index[name]
+			if !ok {
+				return fmt.Errorf("regulator %q not in the data set", name)
+			}
+			opt.Module.Splits.Candidates = append(opt.Module.Splits.Candidates, i)
+		}
+	}
+
+	var output *core.Output
+	if *ranks > 1 {
+		logf("learning on %d ranks ...", *ranks)
+		output, err = core.LearnParallel(*ranks, d, opt)
+	} else {
+		logf("learning sequentially ...")
+		output, err = core.Learn(d, opt)
+	}
+	if err != nil {
+		return err
+	}
+	logf("learned %d modules; task times: %s", len(output.Network.Modules), output.Timers)
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if strings.HasSuffix(*out, ".json") {
+		err = output.Network.WriteJSON(f)
+	} else {
+		err = output.Network.WriteXML(f)
+	}
+	if err != nil {
+		return err
+	}
+	logf("wrote %s", *out)
+
+	if *acyclic {
+		edges := result.EnforceAcyclic(output.Network.ModuleGraph(), len(output.Network.Modules))
+		fmt.Fprintf(stdout, "module graph (%d edges, acyclic):\n", len(edges))
+		for _, e := range edges {
+			fmt.Fprintf(stdout, "  M%d -> M%d  (score %.3f)\n", e.From, e.To, e.Score)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parsimone/internal/result"
+	"parsimone/internal/synth"
+)
+
+// writeData generates a small synthetic data set to a temp TSV.
+func writeData(t *testing.T) string {
+	t.Helper()
+	d, _, err := synth.Generate(synth.Config{N: 30, M: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "data.tsv")
+	if err := d.SaveTSV(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEndXML(t *testing.T) {
+	in := writeData(t)
+	out := filepath.Join(t.TempDir(), "net.xml")
+	var buf bytes.Buffer
+	err := run([]string{"-in", in, "-out", out, "-max-steps", "8", "-quiet", "-acyclic"}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	net, err := result.ReadXML(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "module graph") {
+		t.Fatalf("acyclic output missing: %q", buf.String())
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	in := writeData(t)
+	out := filepath.Join(t.TempDir(), "net.json")
+	if err := run([]string{"-in", in, "-out", out, "-max-steps", "8", "-quiet"}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(data, []byte(`"modules"`)) {
+		t.Fatal("JSON output missing modules")
+	}
+}
+
+// TestRunParallelAndDistPathsIdentical: the CLI must produce byte-identical
+// networks across p and split distribution paths.
+func TestRunParallelAndDistPathsIdentical(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	outputs := map[string][]string{
+		"seq.xml":  {"-in", in, "-max-steps", "8", "-quiet"},
+		"p3.xml":   {"-in", in, "-max-steps", "8", "-quiet", "-p", "3"},
+		"scan.xml": {"-in", in, "-max-steps", "8", "-quiet", "-p", "2", "-dist", "scan"},
+		"dyn.xml":  {"-in", in, "-max-steps", "8", "-quiet", "-p", "2", "-dist", "dynamic"},
+	}
+	nets := map[string]*result.Network{}
+	for name, args := range outputs {
+		out := filepath.Join(dir, name)
+		if err := run(append(args, "-out", out), new(bytes.Buffer)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[name], err = result.ReadXML(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, net := range nets {
+		if !result.Equal(net, nets["seq.xml"]) {
+			t.Fatalf("%s differs from sequential", name)
+		}
+	}
+}
+
+func TestRunSubsetAndRegulators(t *testing.T) {
+	in := writeData(t)
+	out := filepath.Join(t.TempDir(), "net.xml")
+	err := run([]string{"-in", in, "-out", out, "-max-steps", "8", "-quiet",
+		"-n", "20", "-m", "15", "-regulators", "R0000,R0001"}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := os.Open(out)
+	defer f.Close()
+	net, err := result.ReadXML(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N != 20 || net.M != 15 {
+		t.Fatalf("subset not applied: %dx%d", net.N, net.M)
+	}
+	for _, mod := range net.Modules {
+		for _, p := range mod.Parents {
+			if p.Index > 1 {
+				t.Fatalf("parent %d outside regulator list", p.Index)
+			}
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run([]string{}, new(bytes.Buffer)); err == nil {
+		t.Fatal("missing -in accepted")
+	}
+	if err := run([]string{"-in", "/does/not/exist.tsv"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	in := writeData(t)
+	if err := run([]string{"-in", in, "-dist", "bogus"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("bad -dist accepted")
+	}
+	if err := run([]string{"-in", in, "-regulators", "NOPE"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("unknown regulator accepted")
+	}
+}

@@ -1,0 +1,107 @@
+// Multiomics demonstrates the integrative use case Lemon-Tree is known for
+// (Bonnet et al. 2015, the paper's primary reference [13]: "Integrative
+// multi-omics module network inference with Lemon-Tree"): two synthetic
+// omics layers sharing the same regulatory programs — an expression layer
+// and a noisier, rescaled "proteomics-like" layer — are stacked into one
+// variable set, and modules are learned jointly. Genes and their protein
+// products should co-cluster, and the module count should match the shared
+// program count, not double it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"parsimone"
+)
+
+func main() {
+	n := flag.Int("n", 60, "genes per omics layer")
+	m := flag.Int("m", 60, "observations")
+	flag.Parse()
+
+	// Layer 1: expression, with ground truth.
+	expr, truth, err := parsimone.GenerateSynthetic(parsimone.SynthConfig{
+		N: *n, M: *m, Modules: 3, Regulators: 5, Noise: 0.25, Seed: 404,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Layer 2: a proteomics-like readout of the same programs — the
+	// expression signal rescaled, shifted, and noisier (translation adds
+	// noise), built deterministically from layer 1.
+	joint := parsimone.NewData(2*expr.N, expr.M)
+	noise := noiseSource()
+	for i := 0; i < expr.N; i++ {
+		joint.Names[i] = "mRNA:" + expr.Names[i]
+		joint.Names[expr.N+i] = "prot:" + expr.Names[i]
+		for j := 0; j < expr.M; j++ {
+			v := expr.At(i, j)
+			joint.Set(i, j, v)
+			joint.Set(expr.N+i, j, 0.6*v+0.3+0.35*noise())
+		}
+	}
+
+	opt := parsimone.DefaultOptions()
+	opt.Seed = 11
+	opt.Ganesh.Updates = 3
+	out, err := parsimone.Learn(joint, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("joint data: %d variables (%d mRNA + %d protein) × %d observations\n",
+		joint.N, expr.N, expr.N, joint.M)
+	fmt.Printf("learned %d modules (true shared programs: %d)\n\n",
+		len(out.Network.Modules), truth.NumModules)
+
+	// How integrative are the modules? Count cross-layer modules and
+	// mRNA/protein pairs of the same gene landing in the same module.
+	assign := out.Network.ModuleOf()
+	pairsTogether, pairsScored := 0, 0
+	for i := 0; i < expr.N; i++ {
+		if truth.ModuleOf[i] < 0 {
+			continue // regulators belong to no module
+		}
+		pairsScored++
+		if assign[i] >= 0 && assign[i] == assign[expr.N+i] {
+			pairsTogether++
+		}
+	}
+	for _, mod := range out.Network.Modules {
+		mrna, prot := 0, 0
+		for _, v := range mod.Variables {
+			if v < expr.N {
+				mrna++
+			} else {
+				prot++
+			}
+		}
+		kind := "cross-omics"
+		if mrna == 0 || prot == 0 {
+			kind = "single-layer"
+		}
+		fmt.Printf("module %d: %d mRNA + %d protein variables (%s)\n",
+			mod.ID, mrna, prot, kind)
+	}
+	fmt.Printf("\nmRNA/protein pairs of the same gene co-clustered: %d of %d (%.0f%%)\n",
+		pairsTogether, pairsScored, 100*float64(pairsTogether)/float64(pairsScored))
+}
+
+// noiseSource returns a deterministic standard-normal-ish generator (sum of
+// uniforms) so the example does not need a seed flag.
+func noiseSource() func() float64 {
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func() float64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return float64(state>>11) / (1 << 53)
+	}
+	return func() float64 {
+		var s float64
+		for i := 0; i < 12; i++ {
+			s += next()
+		}
+		return s - 6
+	}
+}

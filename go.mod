@@ -1,0 +1,3 @@
+module parsimone
+
+go 1.22

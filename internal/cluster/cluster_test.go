@@ -1,0 +1,416 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parsimone/internal/prng"
+	"parsimone/internal/score"
+	"parsimone/internal/synth"
+)
+
+// approxEqual compares score sums, which may differ in the last bits because
+// floating-point summation order varies between the gain formula and the
+// full-score recomputation (the sufficient statistics themselves are exact).
+func approxEqual(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9*(1+math.Abs(a)+math.Abs(b))
+}
+
+func testData(t *testing.T, n, m int, seed uint64) *score.QData {
+	t.Helper()
+	d, _, err := synth.Generate(synth.Config{N: n, M: m, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Standardize()
+	return score.QuantizeData(d)
+}
+
+func TestNewRandomObsClusters(t *testing.T) {
+	q := testData(t, 10, 20, 1)
+	g := prng.New(1)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0, 1, 2}, 4, g)
+	if err := oc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, c := range oc.Clusters {
+		total += len(c.Obs)
+	}
+	if total != 20 {
+		t.Fatalf("clusters cover %d of 20 observations", total)
+	}
+}
+
+func TestNewRandomObsClustersClampsCount(t *testing.T) {
+	q := testData(t, 10, 5, 2)
+	g := prng.New(2)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0}, 100, g)
+	if len(oc.Clusters) > 5 {
+		t.Fatalf("%d clusters for 5 observations", len(oc.Clusters))
+	}
+	oc2 := NewRandomObsClusters(q, score.DefaultPrior(), []int{0}, 0, prng.New(3))
+	if len(oc2.Clusters) != 1 {
+		t.Fatalf("count 0 should clamp to 1, got %d", len(oc2.Clusters))
+	}
+}
+
+func TestObsDetachAttachRoundTrip(t *testing.T) {
+	q := testData(t, 8, 12, 3)
+	g := prng.New(4)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{1, 3, 5}, 3, g)
+	before := oc.Score()
+	home := oc.Assign[7]
+	col := oc.DetachObs(7)
+	gain := oc.GainAttachObs(col, home)
+	// Re-attaching home must restore the exact score (exact statistics).
+	oc.AttachObs(7, home)
+	if err := oc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if oc.Score() != before {
+		t.Fatalf("detach/attach changed score %v -> %v", before, oc.Score())
+	}
+	_ = gain
+}
+
+func TestObsAttachNewCluster(t *testing.T) {
+	q := testData(t, 8, 12, 5)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0, 2}, 2, prng.New(5))
+	col := oc.DetachObs(3)
+	want := oc.GainAttachObs(col, len(oc.Clusters))
+	preScore := oc.Score()
+	oc.AttachObs(3, len(oc.Clusters))
+	if err := oc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := oc.Score() - preScore; !approxEqual(got, want) {
+		t.Fatalf("new-cluster gain %v, realized %v", want, got)
+	}
+	last := oc.Clusters[len(oc.Clusters)-1]
+	if len(last.Obs) != 1 || last.Obs[0] != 3 {
+		t.Fatalf("new cluster contents %v", last.Obs)
+	}
+}
+
+func TestObsDetachRemovesEmptyCluster(t *testing.T) {
+	q := testData(t, 6, 8, 6)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0, 1}, 2, prng.New(6))
+	// Move everything out of cluster 0 except one observation, then detach it.
+	for len(oc.Clusters[0].Obs) > 1 {
+		j := oc.Clusters[0].Obs[0]
+		oc.DetachObs(j)
+		oc.AttachObs(j, 1%len(oc.Clusters))
+	}
+	before := len(oc.Clusters)
+	j := oc.Clusters[0].Obs[0]
+	oc.DetachObs(j)
+	if len(oc.Clusters) != before-1 {
+		t.Fatal("empty cluster not removed")
+	}
+	oc.AttachObs(j, 0)
+	if err := oc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObsMergeGainRealized(t *testing.T) {
+	q := testData(t, 8, 15, 7)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0, 1, 2, 3}, 4, prng.New(7))
+	if len(oc.Clusters) < 2 {
+		t.Skip("random init produced one cluster")
+	}
+	want := oc.GainMergeObs(0, 1)
+	before := oc.Score()
+	oc.MergeObs(0, 1)
+	if err := oc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	if got := oc.Score() - before; !approxEqual(got, want) {
+		t.Fatalf("merge gain %v, realized %v", want, got)
+	}
+}
+
+func TestObsMergeGainRetainIsZero(t *testing.T) {
+	q := testData(t, 6, 10, 8)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0}, 3, prng.New(8))
+	if oc.GainMergeObs(0, 0) != 0 {
+		t.Fatal("retain gain must be zero")
+	}
+}
+
+func TestAddRemoveVarExact(t *testing.T) {
+	q := testData(t, 8, 10, 9)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0, 1}, 2, prng.New(9))
+	before := oc.Score()
+	oc.AddVar(5)
+	oc.RemoveVar(5)
+	if oc.Score() != before {
+		t.Fatal("AddVar/RemoveVar not exactly inverse")
+	}
+	if err := oc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveVarPanicsOnNonMember(t *testing.T) {
+	q := testData(t, 6, 6, 10)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0, 1}, 2, prng.New(10))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	oc.RemoveVar(4)
+}
+
+func TestObsSnapshotCanonical(t *testing.T) {
+	q := testData(t, 6, 9, 11)
+	oc := NewRandomObsClusters(q, score.DefaultPrior(), []int{0}, 3, prng.New(11))
+	snap := oc.Snapshot()
+	covered := map[int]bool{}
+	prevFirst := -1
+	for _, cl := range snap {
+		if cl[0] <= prevFirst {
+			t.Fatal("snapshot clusters not ordered by first member")
+		}
+		prevFirst = cl[0]
+		for i, j := range cl {
+			if i > 0 && cl[i-1] >= j {
+				t.Fatal("snapshot cluster not sorted")
+			}
+			covered[j] = true
+		}
+	}
+	if len(covered) != 9 {
+		t.Fatalf("snapshot covers %d of 9", len(covered))
+	}
+}
+
+func newCC(t *testing.T, n, m, k0 int, seed uint64) (*CoClustering, *score.QData) {
+	t.Helper()
+	q := testData(t, n, m, seed)
+	g := prng.New(seed + 100)
+	cc := NewRandomCoClustering(q, score.DefaultPrior(), k0, 3, g)
+	if err := cc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	return cc, q
+}
+
+func TestNewRandomCoClusteringCoversAllVars(t *testing.T) {
+	cc, q := newCC(t, 20, 15, 5, 12)
+	seen := 0
+	for _, vc := range cc.Clusters {
+		seen += len(vc.Vars)
+	}
+	if seen != q.N {
+		t.Fatalf("clusters cover %d of %d variables", seen, q.N)
+	}
+}
+
+func TestVarDetachAttachRoundTrip(t *testing.T) {
+	cc, _ := newCC(t, 15, 12, 4, 13)
+	before := cc.Score()
+	home := cc.Assign[9]
+	cc.DetachVar(9)
+	cc.AttachVar(9, home)
+	if cc.Score() != before {
+		t.Fatalf("detach/attach changed score %v -> %v", before, cc.Score())
+	}
+	if err := cc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarAttachGainRealized(t *testing.T) {
+	cc, _ := newCC(t, 15, 12, 4, 14)
+	cc.DetachVar(3)
+	for to := 0; to <= len(cc.Clusters); to++ {
+		want := cc.GainAttachVar(3, to)
+		before := cc.Score()
+		cc.AttachVar(3, to)
+		got := cc.Score() - before
+		if !approxEqual(got, want) {
+			t.Fatalf("to=%d: gain %v, realized %v", to, want, got)
+		}
+		cc.DetachVar(3)
+	}
+	cc.AttachVar(3, 0)
+	if err := cc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarAttachNewClusterSingleObsCluster(t *testing.T) {
+	cc, q := newCC(t, 10, 8, 3, 15)
+	cc.DetachVar(2)
+	cc.AttachVar(2, len(cc.Clusters))
+	vc := cc.Clusters[len(cc.Clusters)-1]
+	if len(vc.Vars) != 1 || vc.Vars[0] != 2 {
+		t.Fatalf("singleton cluster vars %v", vc.Vars)
+	}
+	if len(vc.Obs.Clusters) != 1 || len(vc.Obs.Clusters[0].Obs) != q.M {
+		t.Fatal("new variable cluster must start with one observation cluster over all observations")
+	}
+	if err := cc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVarDetachRemovesEmptyCluster(t *testing.T) {
+	cc, _ := newCC(t, 10, 8, 3, 16)
+	// Shrink cluster 0 to one variable.
+	for len(cc.Clusters[0].Vars) > 1 {
+		x := cc.Clusters[0].Vars[0]
+		cc.DetachVar(x)
+		cc.AttachVar(x, 1%len(cc.Clusters))
+	}
+	before := len(cc.Clusters)
+	x := cc.Clusters[0].Vars[0]
+	cc.DetachVar(x)
+	if len(cc.Clusters) != before-1 {
+		t.Fatal("empty variable cluster not removed")
+	}
+	cc.AttachVar(x, 0)
+	if err := cc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeVarGainRealized(t *testing.T) {
+	cc, _ := newCC(t, 18, 10, 5, 17)
+	if len(cc.Clusters) < 2 {
+		t.Skip("single cluster")
+	}
+	cols := cc.VarColumnStats(0)
+	want := cc.GainMergeVar(cols, 0, 1)
+	before := cc.Score()
+	cc.MergeVar(0, 1)
+	if got := cc.Score() - before; !approxEqual(got, want) {
+		t.Fatalf("merge gain %v, realized %v", want, got)
+	}
+	if err := cc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeVarGainRetainIsZero(t *testing.T) {
+	cc, _ := newCC(t, 12, 8, 3, 18)
+	cols := cc.VarColumnStats(0)
+	if cc.GainMergeVar(cols, 0, 0) != 0 {
+		t.Fatal("retain gain must be zero")
+	}
+}
+
+func TestVarSnapshotCanonical(t *testing.T) {
+	cc, q := newCC(t, 14, 8, 4, 19)
+	snap := cc.VarSnapshot()
+	covered := map[int]bool{}
+	prevFirst := -1
+	for _, cl := range snap {
+		if cl[0] <= prevFirst {
+			t.Fatal("snapshot not ordered by first member")
+		}
+		prevFirst = cl[0]
+		for _, x := range cl {
+			covered[x] = true
+		}
+	}
+	if len(covered) != q.N {
+		t.Fatalf("snapshot covers %d of %d", len(covered), q.N)
+	}
+}
+
+// TestRandomOpSequenceInvariants drives the state through random mixed
+// operations and verifies the exact-statistics invariant throughout.
+func TestRandomOpSequenceInvariants(t *testing.T) {
+	cc, q := newCC(t, 16, 12, 4, 20)
+	g := prng.New(999)
+	for step := 0; step < 200; step++ {
+		switch g.Intn(4) {
+		case 0: // move a variable
+			x := g.Intn(q.N)
+			cc.DetachVar(x)
+			to := g.Intn(len(cc.Clusters) + 1)
+			cc.AttachVar(x, to)
+		case 1: // merge two variable clusters
+			if len(cc.Clusters) >= 2 {
+				src := g.Intn(len(cc.Clusters))
+				dst := g.Intn(len(cc.Clusters))
+				if src != dst {
+					cc.MergeVar(src, dst)
+				}
+			}
+		case 2: // move an observation within a random cluster
+			vc := cc.Clusters[g.Intn(len(cc.Clusters))]
+			j := g.Intn(q.M)
+			vc.Obs.DetachObs(j)
+			to := g.Intn(len(vc.Obs.Clusters) + 1)
+			vc.Obs.AttachObs(j, to)
+		case 3: // merge two observation clusters
+			vc := cc.Clusters[g.Intn(len(cc.Clusters))]
+			if len(vc.Obs.Clusters) >= 2 {
+				src := g.Intn(len(vc.Obs.Clusters))
+				dst := g.Intn(len(vc.Obs.Clusters))
+				if src != dst {
+					vc.Obs.MergeObs(src, dst)
+				}
+			}
+		}
+		if step%20 == 19 {
+			if err := cc.CheckInvariants(); err != nil {
+				t.Fatalf("step %d: %v", step, err)
+			}
+		}
+	}
+	if err := cc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScoreDecomposable: the total score must equal the sum of block scores
+// computed independently, for arbitrary partitions (property-based).
+func TestScoreDecomposable(t *testing.T) {
+	q := testData(t, 10, 10, 21)
+	pr := score.DefaultPrior()
+	check := func(seed uint16) bool {
+		g := prng.New(uint64(seed))
+		cc := NewRandomCoClustering(q, pr, 3, 2, g)
+		var total float64
+		for _, vc := range cc.Clusters {
+			for _, c := range vc.Obs.Clusters {
+				total += pr.LogML(c.Stats)
+			}
+		}
+		return approxEqual(total, cc.Score())
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkGainAttachVar(b *testing.B) {
+	d, _, _ := synth.Generate(synth.Config{N: 100, M: 100, Seed: 1})
+	d.Standardize()
+	q := score.QuantizeData(d)
+	cc := NewRandomCoClustering(q, score.DefaultPrior(), 10, 5, prng.New(1))
+	cc.DetachVar(50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.GainAttachVar(50, i%len(cc.Clusters))
+	}
+}
+
+func BenchmarkMergeGains(b *testing.B) {
+	d, _, _ := synth.Generate(synth.Config{N: 100, M: 100, Seed: 1})
+	d.Standardize()
+	q := score.QuantizeData(d)
+	cc := NewRandomCoClustering(q, score.DefaultPrior(), 10, 5, prng.New(1))
+	cols := cc.VarColumnStats(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cc.GainMergeVar(cols, 0, 1%len(cc.Clusters))
+	}
+}

@@ -1,0 +1,429 @@
+// Package comm provides an MPI-like message-passing runtime for the
+// networked distributed-memory model the paper's algorithms are designed for
+// (§3.1). Ranks run as goroutines with private state and communicate only
+// through point-to-point sends and the standard collectives used by the
+// parallel algorithms: bcast, reduce, all-reduce, gather, all-gather, scan,
+// and barrier.
+//
+// Collectives fold contributions in rank order, so reductions over
+// floating-point or integer values are bitwise-independent of the number of
+// in-flight interleavings, and the engines built on top produce identical
+// results for every rank count.
+//
+// # Payload immutability
+//
+// Unlike real MPI, messages are passed by reference (the ranks share one
+// address space). A value received from Recv or from any collective may be
+// aliased by every other rank: treat received payloads as immutable, and
+// copy before mutating (sorting a gathered slice in place, for example, is
+// a data race).
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"runtime/debug"
+	"sync"
+)
+
+// envelope is a single in-flight point-to-point message.
+type envelope struct {
+	from int
+	v    any
+}
+
+// Stats counts traffic sent by one rank. Element counts approximate words:
+// a scalar is one element, a slice contributes its length.
+type Stats struct {
+	Sends       int64 // point-to-point messages sent
+	Elems       int64 // elements sent
+	Collectives int64 // collective operations entered
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Sends += other.Sends
+	s.Elems += other.Elems
+	s.Collectives += other.Collectives
+}
+
+// World is the shared runtime for one parallel execution.
+type World struct {
+	size  int
+	inbox []chan envelope
+	// aborted is closed when any rank fails, releasing ranks blocked in
+	// communication — the MPI job-abort semantic.
+	aborted   chan struct{}
+	abortOnce sync.Once
+}
+
+// abort releases every blocked rank.
+func (w *World) abort() { w.abortOnce.Do(func() { close(w.aborted) }) }
+
+// ErrAborted is the panic/err value raised in ranks that were blocked in
+// communication when another rank failed.
+var ErrAborted = errors.New("comm: world aborted because another rank failed")
+
+// Comm is one rank's endpoint into a World. A Comm must only be used from
+// the goroutine it was handed to.
+type Comm struct {
+	world   *World
+	rank    int
+	pending map[int][]any // messages received out of order, by sender
+	stats   Stats
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks in the world.
+func (c *Comm) Size() int { return c.world.size }
+
+// Stats returns the traffic counters accumulated by this rank so far.
+func (c *Comm) Stats() Stats { return c.stats }
+
+// RankError reports a failure (error or panic) in a specific rank.
+type RankError struct {
+	Rank  int
+	Err   error
+	Stack string // non-empty if the rank panicked
+}
+
+// Error formats the failure with its rank and, for panics, the stack.
+func (e *RankError) Error() string {
+	if e.Stack != "" {
+		return fmt.Sprintf("rank %d panicked: %v\n%s", e.Rank, e.Err, e.Stack)
+	}
+	return fmt.Sprintf("rank %d: %v", e.Rank, e.Err)
+}
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e *RankError) Unwrap() error { return e.Err }
+
+// Run executes fn on p ranks concurrently and blocks until all complete.
+// It returns the per-rank traffic stats and the lowest-rank error, if any.
+// A panic inside a rank is recovered and reported as a RankError.
+func Run(p int, fn func(*Comm) error) ([]Stats, error) {
+	if p <= 0 {
+		return nil, fmt.Errorf("comm: rank count %d must be positive", p)
+	}
+	w := &World{size: p, inbox: make([]chan envelope, p), aborted: make(chan struct{})}
+	for i := range w.inbox {
+		// Buffer enough that tree exchanges never deadlock on slow
+		// receivers; gathers may still block, which is fine.
+		w.inbox[i] = make(chan envelope, p+8)
+	}
+	errs := make([]error, p)
+	stats := make([]Stats, p)
+	var wg sync.WaitGroup
+	for k := 0; k < p; k++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := &Comm{world: w, rank: rank, pending: make(map[int][]any)}
+			defer func() {
+				stats[rank] = c.stats
+				if r := recover(); r != nil {
+					if err, ok := r.(error); ok && errors.Is(err, ErrAborted) {
+						errs[rank] = &RankError{Rank: rank, Err: ErrAborted}
+					} else {
+						errs[rank] = &RankError{
+							Rank:  rank,
+							Err:   fmt.Errorf("%v", r),
+							Stack: string(debug.Stack()),
+						}
+					}
+					w.abort()
+				}
+			}()
+			if err := fn(c); err != nil {
+				errs[rank] = &RankError{Rank: rank, Err: err}
+				w.abort()
+			}
+		}(k)
+	}
+	wg.Wait()
+	// Prefer the originating failure over cascaded aborts.
+	var abortErr error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if errors.Is(err, ErrAborted) {
+			if abortErr == nil {
+				abortErr = err
+			}
+			continue
+		}
+		return stats, err
+	}
+	return stats, abortErr
+}
+
+// elems estimates the number of elements (words) in a payload.
+func elems(v any) int64 {
+	rv := reflect.ValueOf(v)
+	switch rv.Kind() {
+	case reflect.Slice, reflect.Array, reflect.String:
+		return int64(rv.Len())
+	default:
+		return 1
+	}
+}
+
+// Send delivers v to rank `to`. Sending to oneself is allowed and is received
+// by a matching Recv.
+func Send[T any](c *Comm, to int, v T) {
+	if to < 0 || to >= c.world.size {
+		panic(fmt.Sprintf("comm: send to invalid rank %d of %d", to, c.world.size))
+	}
+	c.stats.Sends++
+	c.stats.Elems += elems(v)
+	select {
+	case c.world.inbox[to] <- envelope{from: c.rank, v: v}:
+	case <-c.world.aborted:
+		panic(ErrAborted)
+	}
+}
+
+// Recv blocks until a message from rank `from` arrives and returns it.
+// Messages from other senders that arrive in the meantime are stashed and
+// delivered to later Recv calls in arrival order.
+func Recv[T any](c *Comm, from int) T {
+	if q := c.pending[from]; len(q) > 0 {
+		v := q[0]
+		c.pending[from] = q[1:]
+		return v.(T)
+	}
+	for {
+		var env envelope
+		select {
+		case env = <-c.world.inbox[c.rank]:
+		case <-c.world.aborted:
+			panic(ErrAborted)
+		}
+		if env.from == from {
+			return env.v.(T)
+		}
+		c.pending[env.from] = append(c.pending[env.from], env.v)
+	}
+}
+
+// Bcast distributes root's value to every rank along a binomial tree and
+// returns it. The v argument is ignored on non-root ranks.
+func Bcast[T any](c *Comm, root int, v T) T {
+	c.stats.Collectives++
+	p := c.world.size
+	vr := (c.rank - root + p) % p
+	mask := 1
+	for mask < p {
+		if vr&mask != 0 {
+			parent := (vr - mask + root) % p
+			v = Recv[T](c, parent)
+			break
+		}
+		mask <<= 1
+	}
+	for mask >>= 1; mask > 0; mask >>= 1 {
+		if vr+mask < p {
+			child := (vr + mask + root) % p
+			Send(c, child, v)
+		}
+	}
+	return v
+}
+
+// Gather collects one value from every rank at root, ordered by rank.
+// Non-root ranks receive nil.
+func Gather[T any](c *Comm, root int, v T) []T {
+	c.stats.Collectives++
+	if c.rank != root {
+		Send(c, root, v)
+		return nil
+	}
+	out := make([]T, c.world.size)
+	for k := 0; k < c.world.size; k++ {
+		if k == root {
+			out[k] = v
+			continue
+		}
+		out[k] = Recv[T](c, k)
+	}
+	return out
+}
+
+// AllGather collects one value from every rank on every rank, ordered by
+// rank.
+func AllGather[T any](c *Comm, v T) []T {
+	vs := Gather(c, 0, v)
+	return Bcast(c, 0, vs)
+}
+
+// Reduce folds the per-rank values with op in ascending rank order and
+// returns the result at root (the zero value of T elsewhere). Folding in
+// rank order keeps floating-point reductions deterministic.
+func Reduce[T any](c *Comm, root int, v T, op func(T, T) T) T {
+	vs := Gather(c, root, v)
+	if c.rank != root {
+		var zero T
+		return zero
+	}
+	acc := vs[0]
+	for _, x := range vs[1:] {
+		acc = op(acc, x)
+	}
+	return acc
+}
+
+// AllReduce folds the per-rank values with op in ascending rank order and
+// returns the result on every rank.
+func AllReduce[T any](c *Comm, v T, op func(T, T) T) T {
+	return Bcast(c, 0, Reduce(c, 0, v, op))
+}
+
+// ExScan returns the exclusive prefix fold of the per-rank values in rank
+// order: rank 0 receives id, rank k receives op(v₀, …, v_{k−1}).
+func ExScan[T any](c *Comm, v T, op func(T, T) T, id T) T {
+	vs := AllGather(c, v)
+	acc := id
+	for k := 0; k < c.rank; k++ {
+		acc = op(acc, vs[k])
+	}
+	return acc
+}
+
+// Barrier blocks until all ranks have entered it.
+func Barrier(c *Comm) {
+	c.stats.Collectives++
+	token := Gather(c, 0, struct{}{})
+	_ = token
+	Bcast(c, 0, struct{}{})
+}
+
+// AllReduceSlice folds equal-length slices elementwise in rank order and
+// returns the folded slice on every rank. It panics if lengths differ.
+func AllReduceSlice[T any](c *Comm, v []T, op func(T, T) T) []T {
+	parts := Gather(c, 0, v)
+	var folded []T
+	if c.rank == 0 {
+		folded = make([]T, len(v))
+		copy(folded, parts[0])
+		for _, part := range parts[1:] {
+			if len(part) != len(folded) {
+				panic(fmt.Sprintf("comm: AllReduceSlice length mismatch %d != %d", len(part), len(folded)))
+			}
+			for i, x := range part {
+				folded[i] = op(folded[i], x)
+			}
+		}
+	}
+	return Bcast(c, 0, folded)
+}
+
+// AllGatherv concatenates the per-rank slices in rank order on every rank.
+func AllGatherv[T any](c *Comm, v []T) []T {
+	parts := Gather(c, 0, v)
+	var out []T
+	if c.rank == 0 {
+		for _, part := range parts {
+			out = append(out, part...)
+		}
+	}
+	return Bcast(c, 0, out)
+}
+
+// BlockRange returns the half-open index range [lo, hi) of block `rank` when
+// n items are partitioned into `size` nearly equal contiguous blocks, with
+// the first n mod size blocks one longer. It is the canonical partition used
+// by every parallel phase, so work distribution and random-stream
+// distribution always line up (§4.2).
+func BlockRange(n, size, rank int) (lo, hi int) {
+	base := n / size
+	rem := n % size
+	lo = rank*base + min(rank, rem)
+	hi = lo + base
+	if rank < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// BlockOwner returns the rank whose block contains item i under BlockRange
+// partitioning of n items over size ranks.
+func BlockOwner(n, size, i int) int {
+	base := n / size
+	rem := n % size
+	wide := (base + 1) * rem // items covered by the wider blocks
+	if base == 0 {
+		return i
+	}
+	if i < wide {
+		return i / (base + 1)
+	}
+	return rem + (i-wide)/base
+}
+
+// RecvAny blocks until a message whose payload is assignable to T arrives
+// from any sender, and returns the sender's rank and the message. The
+// payload type acts as a lightweight MPI tag: messages of other types are
+// stashed for later typed Recv calls, so a coordinator matching requests is
+// not confused by peers that have already moved on to a later exchange.
+// Stashed messages are scanned lowest sender rank first; per-sender order
+// among same-type messages is preserved.
+func RecvAny[T any](c *Comm) (int, T) {
+	for from := 0; from < c.world.size; from++ {
+		q := c.pending[from]
+		for i, v := range q {
+			if tv, ok := v.(T); ok {
+				c.pending[from] = append(q[:i:i], q[i+1:]...)
+				return from, tv
+			}
+		}
+	}
+	for {
+		select {
+		case env := <-c.world.inbox[c.rank]:
+			if tv, ok := env.v.(T); ok {
+				return env.from, tv
+			}
+			c.pending[env.from] = append(c.pending[env.from], env.v)
+		case <-c.world.aborted:
+			panic(ErrAborted)
+		}
+	}
+}
+
+// Split partitions the ranks into disjoint subgroups by color and returns a
+// subgroup communicator (the MPI_Comm_split pattern): ranks sharing a color
+// form a new world, renumbered 0…k−1 in parent-rank order. The subworld
+// shares the parent's abort channel, so a failure anywhere still releases
+// every blocked rank. Collective over the parent communicator.
+func Split(c *Comm, color int) *Comm {
+	colors := AllGather(c, color)
+	var members []int
+	for rank, col := range colors {
+		if col == color {
+			members = append(members, rank)
+		}
+	}
+	myNewRank := 0
+	for i, rank := range members {
+		if rank == c.rank {
+			myNewRank = i
+		}
+	}
+	var w *World
+	if members[0] == c.rank {
+		w = &World{size: len(members), inbox: make([]chan envelope, len(members)), aborted: c.world.aborted}
+		for i := range w.inbox {
+			w.inbox[i] = make(chan envelope, len(members)+8)
+		}
+		for _, rank := range members[1:] {
+			Send(c, rank, w)
+		}
+	} else {
+		w = Recv[*World](c, members[0])
+	}
+	return &Comm{world: w, rank: myNewRank, pending: make(map[int][]any)}
+}

@@ -1,0 +1,649 @@
+package comm
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+// sizes exercised by most collective tests, including non-powers of two.
+var sizes = []int{1, 2, 3, 4, 5, 7, 8, 13, 16}
+
+func TestRunInvalidSize(t *testing.T) {
+	for _, p := range []int{0, -1} {
+		if _, err := Run(p, func(c *Comm) error { return nil }); err == nil {
+			t.Errorf("Run(%d) succeeded, want error", p)
+		}
+	}
+}
+
+func TestRunRanksAndSize(t *testing.T) {
+	for _, p := range sizes {
+		seen := make([]bool, p)
+		_, err := Run(p, func(c *Comm) error {
+			if c.Size() != p {
+				return fmt.Errorf("size %d, want %d", c.Size(), p)
+			}
+			seen[c.Rank()] = true // each rank writes its own slot
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, ok := range seen {
+			if !ok {
+				t.Fatalf("p=%d: rank %d never ran", p, k)
+			}
+		}
+	}
+}
+
+func TestRunReportsError(t *testing.T) {
+	wantErr := errors.New("boom")
+	_, err := Run(4, func(c *Comm) error {
+		if c.Rank() == 2 {
+			return wantErr
+		}
+		return nil
+	})
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 2 || !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want RankError{Rank:2, boom}", err)
+	}
+}
+
+func TestRunRecoversPanic(t *testing.T) {
+	_, err := Run(3, func(c *Comm) error {
+		if c.Rank() == 1 {
+			panic("kaboom")
+		}
+		return nil
+	})
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 1 || re.Stack == "" {
+		t.Fatalf("got %v, want RankError with stack from rank 1", err)
+	}
+}
+
+func TestSendRecvPair(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			Send(c, 1, 42)
+			if got := Recv[string](c, 1); got != "hello" {
+				return fmt.Errorf("got %q", got)
+			}
+		} else {
+			if got := Recv[int](c, 0); got != 42 {
+				return fmt.Errorf("got %d", got)
+			}
+			Send(c, 0, "hello")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvOutOfOrderSenders(t *testing.T) {
+	// Rank 0 receives from rank 2 first even if rank 1's message arrives
+	// earlier; the stashed message must still be delivered afterwards.
+	_, err := Run(3, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			Send(c, 0, 100)
+		case 2:
+			Send(c, 0, 200)
+		case 0:
+			if got := Recv[int](c, 2); got != 200 {
+				return fmt.Errorf("from 2: got %d", got)
+			}
+			if got := Recv[int](c, 1); got != 100 {
+				return fmt.Errorf("from 1: got %d", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvPreservesPerSenderOrder(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			for i := 0; i < 50; i++ {
+				Send(c, 1, i)
+			}
+		} else {
+			for i := 0; i < 50; i++ {
+				if got := Recv[int](c, 0); got != i {
+					return fmt.Errorf("message %d arrived as %d", i, got)
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInvalidRankPanics(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			Send(c, 5, 1)
+		}
+		return nil
+	})
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 0 {
+		t.Fatalf("got %v, want panic RankError from rank 0", err)
+	}
+}
+
+func TestBcastAllRootsAllSizes(t *testing.T) {
+	for _, p := range sizes {
+		for root := 0; root < p; root++ {
+			_, err := Run(p, func(c *Comm) error {
+				v := -1
+				if c.Rank() == root {
+					v = 1000 + root
+				}
+				got := Bcast(c, root, v)
+				if got != 1000+root {
+					return fmt.Errorf("rank %d got %d", c.Rank(), got)
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d root=%d: %v", p, root, err)
+			}
+		}
+	}
+}
+
+func TestBcastSlice(t *testing.T) {
+	_, err := Run(5, func(c *Comm) error {
+		var v []float64
+		if c.Rank() == 0 {
+			v = []float64{1.5, 2.5, 3.5}
+		}
+		got := Bcast(c, 0, v)
+		if len(got) != 3 || got[2] != 3.5 {
+			return fmt.Errorf("rank %d got %v", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherOrdered(t *testing.T) {
+	for _, p := range sizes {
+		_, err := Run(p, func(c *Comm) error {
+			got := Gather(c, 0, c.Rank()*10)
+			if c.Rank() != 0 {
+				if got != nil {
+					return fmt.Errorf("non-root got %v", got)
+				}
+				return nil
+			}
+			for k, v := range got {
+				if v != k*10 {
+					return fmt.Errorf("slot %d = %d", k, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllGather(t *testing.T) {
+	for _, p := range sizes {
+		_, err := Run(p, func(c *Comm) error {
+			got := AllGather(c, c.Rank()+1)
+			if len(got) != p {
+				return fmt.Errorf("len %d", len(got))
+			}
+			for k, v := range got {
+				if v != k+1 {
+					return fmt.Errorf("slot %d = %d", k, v)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllReduceSum(t *testing.T) {
+	for _, p := range sizes {
+		want := p * (p - 1) / 2
+		_, err := Run(p, func(c *Comm) error {
+			got := AllReduce(c, c.Rank(), func(a, b int) int { return a + b })
+			if got != want {
+				return fmt.Errorf("rank %d got %d want %d", c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestAllReduceMax(t *testing.T) {
+	_, err := Run(7, func(c *Comm) error {
+		got := AllReduce(c, (c.Rank()*3)%7, func(a, b int) int { return max(a, b) })
+		if got != 6 {
+			return fmt.Errorf("got %d", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceRankOrderDeterministic(t *testing.T) {
+	// Non-commutative op exposes fold order: result must be the rank-order
+	// fold regardless of p's tree shape.
+	for _, p := range sizes {
+		want := ""
+		for k := 0; k < p; k++ {
+			want += fmt.Sprint(k)
+		}
+		_, err := Run(p, func(c *Comm) error {
+			got := AllReduce(c, fmt.Sprint(c.Rank()), func(a, b string) string { return a + b })
+			if got != want {
+				return fmt.Errorf("got %q want %q", got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestExScan(t *testing.T) {
+	for _, p := range sizes {
+		_, err := Run(p, func(c *Comm) error {
+			got := ExScan(c, c.Rank()+1, func(a, b int) int { return a + b }, 0)
+			want := 0
+			for k := 0; k < c.Rank(); k++ {
+				want += k + 1
+			}
+			if got != want {
+				return fmt.Errorf("rank %d got %d want %d", c.Rank(), got, want)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestBarrierCompletes(t *testing.T) {
+	_, err := Run(8, func(c *Comm) error {
+		for i := 0; i < 10; i++ {
+			Barrier(c)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSlice(t *testing.T) {
+	_, err := Run(4, func(c *Comm) error {
+		v := []int{c.Rank(), c.Rank() * 2, 1}
+		got := AllReduceSlice(c, v, func(a, b int) int { return a + b })
+		want := []int{0 + 1 + 2 + 3, 0 + 2 + 4 + 6, 4}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("slot %d: got %d want %d", i, got[i], want[i])
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllReduceSliceLengthMismatch(t *testing.T) {
+	_, err := Run(2, func(c *Comm) error {
+		v := make([]int, c.Rank()+1)
+		AllReduceSlice(c, v, func(a, b int) int { return a + b })
+		return nil
+	})
+	if err == nil {
+		t.Fatal("length mismatch not detected")
+	}
+}
+
+func TestAllGatherv(t *testing.T) {
+	_, err := Run(3, func(c *Comm) error {
+		local := make([]int, c.Rank()) // rank 0 contributes nothing
+		for i := range local {
+			local[i] = c.Rank()*100 + i
+		}
+		got := AllGatherv(c, local)
+		want := []int{100, 200, 201}
+		if len(got) != len(want) {
+			return fmt.Errorf("got %v", got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return fmt.Errorf("got %v want %v", got, want)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsCounted(t *testing.T) {
+	stats, err := Run(4, func(c *Comm) error {
+		AllGather(c, []float64{1, 2, 3})
+		Barrier(c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total Stats
+	for _, s := range stats {
+		total.Add(s)
+	}
+	if total.Collectives == 0 || total.Sends == 0 || total.Elems == 0 {
+		t.Fatalf("stats not accumulated: %+v", total)
+	}
+}
+
+func TestBlockRangeCoversAll(t *testing.T) {
+	check := func(nRaw, pRaw uint8) bool {
+		n := int(nRaw)
+		p := int(pRaw)%16 + 1
+		covered := 0
+		prevHi := 0
+		for k := 0; k < p; k++ {
+			lo, hi := BlockRange(n, p, k)
+			if lo != prevHi || hi < lo {
+				return false
+			}
+			covered += hi - lo
+			prevHi = hi
+		}
+		return covered == n && prevHi == n
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBlockRangeBalanced(t *testing.T) {
+	// No block may be more than one longer than another.
+	for _, n := range []int{0, 1, 5, 16, 17, 100} {
+		for _, p := range []int{1, 2, 3, 7, 16} {
+			minLen, maxLen := n+1, -1
+			for k := 0; k < p; k++ {
+				lo, hi := BlockRange(n, p, k)
+				minLen = min(minLen, hi-lo)
+				maxLen = max(maxLen, hi-lo)
+			}
+			if maxLen-minLen > 1 {
+				t.Fatalf("n=%d p=%d: block lengths differ by %d", n, p, maxLen-minLen)
+			}
+		}
+	}
+}
+
+func TestBlockOwnerMatchesBlockRange(t *testing.T) {
+	for _, n := range []int{1, 5, 16, 17, 100} {
+		for _, p := range []int{1, 2, 3, 7, 16, 100} {
+			for i := 0; i < n; i++ {
+				owner := BlockOwner(n, p, i)
+				lo, hi := BlockRange(n, p, owner)
+				if i < lo || i >= hi {
+					t.Fatalf("n=%d p=%d i=%d: owner %d has [%d,%d)", n, p, i, owner, lo, hi)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkAllReduceP8(b *testing.B) {
+	Run(8, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			AllReduce(c, c.Rank(), func(a, b int) int { return a + b })
+		}
+		return nil
+	})
+}
+
+func BenchmarkBcastP8(b *testing.B) {
+	Run(8, func(c *Comm) error {
+		for i := 0; i < b.N; i++ {
+			Bcast(c, 0, i)
+		}
+		return nil
+	})
+}
+
+func TestRecvAny(t *testing.T) {
+	_, err := Run(4, func(c *Comm) error {
+		if c.Rank() == 0 {
+			got := map[int]int{}
+			for i := 0; i < 3; i++ {
+				from, v := RecvAny[int](c)
+				got[from] = v
+			}
+			for k := 1; k < 4; k++ {
+				if got[k] != k*11 {
+					return fmt.Errorf("from %d: got %d", k, got[k])
+				}
+			}
+		} else {
+			Send(c, 0, c.Rank()*11)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnyDrainsPendingFirst(t *testing.T) {
+	_, err := Run(3, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			Send(c, 0, "one")
+		case 2:
+			Send(c, 0, "two")
+		case 0:
+			// Force rank 1's message into the pending stash by asking
+			// for rank 2 first.
+			if got := Recv[string](c, 2); got != "two" {
+				return fmt.Errorf("from 2: %q", got)
+			}
+			from, v := RecvAny[string](c)
+			if from != 1 || v != "one" {
+				return fmt.Errorf("RecvAny got %d/%q", from, v)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAbortReleasesBlockedRanks(t *testing.T) {
+	// Rank 0 panics while rank 1 is blocked waiting for a message that
+	// will never arrive; the world abort must release rank 1 and Run must
+	// report rank 0's panic (not the cascade).
+	_, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			panic("original failure")
+		}
+		Recv[int](c, 0) // would block forever without abort
+		return nil
+	})
+	var re *RankError
+	if !errors.As(err, &re) {
+		t.Fatalf("got %v", err)
+	}
+	if re.Rank != 0 || errors.Is(err, ErrAborted) {
+		t.Fatalf("want rank 0's original panic, got %v", err)
+	}
+}
+
+func TestAbortFromErrorReturn(t *testing.T) {
+	wantErr := errors.New("worker failed")
+	_, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 0 {
+			return wantErr
+		}
+		Recv[int](c, 0)
+		return nil
+	})
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("got %v, want the originating error", err)
+	}
+}
+
+func TestSplitBasic(t *testing.T) {
+	// 7 ranks, 3 colors by modulo: groups {0,3,6}, {1,4}, {2,5}.
+	_, err := Run(7, func(c *Comm) error {
+		color := c.Rank() % 3
+		sub := Split(c, color)
+		wantSize := 3 - min(color, 1) // color 0 → 3 members; 1,2 → 2
+		if color == 0 && sub.Size() != 3 || color > 0 && sub.Size() != 2 {
+			return fmt.Errorf("rank %d color %d: sub size %d (want %d)", c.Rank(), color, sub.Size(), wantSize)
+		}
+		// Subgroup collectives work and stay inside the group.
+		sum := AllReduce(sub, c.Rank(), func(a, b int) int { return a + b })
+		want := 0
+		for r := 0; r < 7; r++ {
+			if r%3 == color {
+				want += r
+			}
+		}
+		if sum != want {
+			return fmt.Errorf("rank %d: group sum %d want %d", c.Rank(), sum, want)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRankOrder(t *testing.T) {
+	_, err := Run(6, func(c *Comm) error {
+		sub := Split(c, c.Rank()/3) // groups {0,1,2} and {3,4,5}
+		if got := sub.Rank(); got != c.Rank()%3 {
+			return fmt.Errorf("parent rank %d got sub rank %d", c.Rank(), got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitSingleColor(t *testing.T) {
+	_, err := Run(4, func(c *Comm) error {
+		sub := Split(c, 0)
+		if sub.Size() != 4 || sub.Rank() != c.Rank() {
+			return fmt.Errorf("identity split broken: %d/%d", sub.Rank(), sub.Size())
+		}
+		Barrier(sub)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitAbortReleasesSubgroups(t *testing.T) {
+	// A panic in one subgroup must release ranks blocked in another.
+	_, err := Run(4, func(c *Comm) error {
+		sub := Split(c, c.Rank()%2)
+		if c.Rank() == 0 {
+			panic("subgroup failure")
+		}
+		if c.Rank() == 2 {
+			// Blocked on a message from subgroup peer 0 (parent rank 0 is
+			// in the other group; here sub peer is parent rank 0? no —
+			// group of even ranks is {0,2}: sub rank 1 waits for sub rank 0,
+			// which panicked).
+			Recv[int](sub, 0)
+		}
+		return nil
+	})
+	var re *RankError
+	if !errors.As(err, &re) || re.Rank != 0 {
+		t.Fatalf("got %v, want original panic from rank 0", err)
+	}
+}
+
+func TestSplitArbitraryColorsProperty(t *testing.T) {
+	// Any color assignment must produce consistent subgroups: sizes sum to
+	// p, sub-ranks are 0..k-1 in parent order, and subgroup collectives
+	// agree with a direct computation.
+	check := func(raw [6]uint8) bool {
+		p := 6
+		colors := make([]int, p)
+		for i := range colors {
+			colors[i] = int(raw[i]) % 3
+		}
+		ok := true
+		_, err := Run(p, func(c *Comm) error {
+			sub := Split(c, colors[c.Rank()])
+			wantSize := 0
+			wantRank := 0
+			for r := 0; r < p; r++ {
+				if colors[r] == colors[c.Rank()] {
+					if r < c.Rank() {
+						wantRank++
+					}
+					wantSize++
+				}
+			}
+			if sub.Size() != wantSize || sub.Rank() != wantRank {
+				ok = false
+				return nil
+			}
+			sum := AllReduce(sub, c.Rank(), func(a, b int) int { return a + b })
+			want := 0
+			for r := 0; r < p; r++ {
+				if colors[r] == colors[c.Rank()] {
+					want += r
+				}
+			}
+			if sum != want {
+				ok = false
+			}
+			return nil
+		})
+		return err == nil && ok
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,184 @@
+package consensus
+
+import (
+	"reflect"
+	"testing"
+
+	"parsimone/internal/ganesh"
+	"parsimone/internal/prng"
+	"parsimone/internal/score"
+	"parsimone/internal/synth"
+)
+
+// block builds a co-occurrence matrix with perfect blocks.
+func block(n int, groups [][]int) []float64 {
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 1
+	}
+	for _, g := range groups {
+		for _, i := range g {
+			for _, j := range g {
+				a[i*n+j] = 1
+			}
+		}
+	}
+	return a
+}
+
+func TestClusterPerfectBlocks(t *testing.T) {
+	a := block(7, [][]int{{0, 1, 2, 3}, {4, 5, 6}})
+	got := Cluster(7, a, Params{})
+	want := [][]int{{0, 1, 2, 3}, {4, 5, 6}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestClusterExtractsDensestFirst(t *testing.T) {
+	// The larger clique has the larger Perron value and must come first
+	// even when its indices come later.
+	a := block(9, [][]int{{0, 1}, {2, 3, 4, 5, 6}})
+	got := Cluster(9, a, Params{})
+	if len(got) < 2 {
+		t.Fatalf("got %v", got)
+	}
+	if !reflect.DeepEqual(got[0], []int{2, 3, 4, 5, 6}) {
+		t.Fatalf("densest cluster not first: %v", got)
+	}
+}
+
+func TestClusterNoisyBlocks(t *testing.T) {
+	// Strong blocks plus weak off-block noise must still be recovered.
+	// The blocks have slightly different strength so the Perron vector
+	// localizes (exactly symmetric blocks are a degenerate tie).
+	n := 8
+	a := block(n, [][]int{{0, 1, 2}})
+	for _, i := range []int{3, 4, 5} {
+		for _, j := range []int{3, 4, 5} {
+			if i != j {
+				a[i*n+j] = 0.8
+			}
+		}
+	}
+	// Residual off-block noise: small, as after the co-occurrence
+	// threshold of §2.2.2 (that threshold exists precisely to remove
+	// strong spurious coupling).
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j && a[i*n+j] == 0 {
+				a[i*n+j] = 0.05
+			}
+		}
+	}
+	got := Cluster(n, a, Params{})
+	if len(got) < 2 {
+		t.Fatalf("got %v", got)
+	}
+	if !reflect.DeepEqual(got[0], []int{0, 1, 2}) && !reflect.DeepEqual(got[0], []int{3, 4, 5}) {
+		t.Fatalf("first cluster %v not a true block", got[0])
+	}
+}
+
+func TestClusterEmptyMatrix(t *testing.T) {
+	a := make([]float64, 16) // all zero — no co-occurrence at all
+	got := Cluster(4, a, Params{})
+	if len(got) != 0 {
+		t.Fatalf("zero matrix produced clusters: %v", got)
+	}
+}
+
+func TestClusterSingletonsNotEmitted(t *testing.T) {
+	// Identity matrix: every variable only co-occurs with itself; with
+	// MinClusterSize 2 nothing is a module.
+	n := 5
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 1
+	}
+	got := Cluster(n, a, Params{})
+	if len(got) != 0 {
+		t.Fatalf("identity matrix produced clusters: %v", got)
+	}
+}
+
+func TestClusterMinSizeRespected(t *testing.T) {
+	a := block(6, [][]int{{0, 1, 2, 3}, {4, 5}})
+	got := Cluster(6, a, Params{MinClusterSize: 3})
+	for _, c := range got {
+		if len(c) < 3 {
+			t.Fatalf("cluster %v below min size", c)
+		}
+	}
+}
+
+func TestClusterDeterministic(t *testing.T) {
+	a := block(10, [][]int{{0, 3, 5}, {1, 2, 8}, {4, 6, 7, 9}})
+	x := Cluster(10, a, Params{})
+	y := Cluster(10, a, Params{})
+	if !reflect.DeepEqual(x, y) {
+		t.Fatal("consensus clustering not deterministic")
+	}
+}
+
+func TestClusterPanicsOnAsymmetric(t *testing.T) {
+	a := make([]float64, 4)
+	a[1] = 0.5 // (0,1) without (1,0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("asymmetric matrix accepted")
+		}
+	}()
+	Cluster(2, a, Params{})
+}
+
+// TestEndToEndWithGaneSH drives the real pipeline front half: sample
+// clusterings with GaneSH, accumulate co-occurrence, extract consensus
+// modules, and check they reflect the synthetic ground truth.
+func TestEndToEndWithGaneSH(t *testing.T) {
+	d, truth, err := synth.Generate(synth.Config{
+		N: 36, M: 40, Regulators: 4, Modules: 3, Noise: 0.25, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Standardize()
+	q := score.QuantizeData(d)
+	pr := score.DefaultPrior()
+	var ensembles [][][]int
+	for gRun := 0; gRun < 3; gRun++ {
+		cc := ganesh.Run(q, pr, ganesh.Params{Updates: 2}, prng.New(uint64(100+gRun)), nil)
+		ensembles = append(ensembles, cc.VarSnapshot())
+	}
+	a := ganesh.CoOccurrence(q.N, ensembles, 0.35)
+	modules := Cluster(q.N, a, Params{})
+	if len(modules) == 0 {
+		t.Fatal("no consensus modules found")
+	}
+	// Most pairs inside a consensus module should share a true module.
+	var same, total int
+	for _, mod := range modules {
+		for ai := 0; ai < len(mod); ai++ {
+			for bi := ai + 1; bi < len(mod); bi++ {
+				i, j := mod[ai], mod[bi]
+				if truth.ModuleOf[i] >= 0 && truth.ModuleOf[i] == truth.ModuleOf[j] {
+					same++
+				}
+				total++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("modules are all singletons")
+	}
+	if frac := float64(same) / float64(total); frac < 0.6 {
+		t.Fatalf("consensus module purity %.2f below 0.6 (modules %v)", frac, modules)
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults()
+	if p.MinClusterSize != 2 || p.MinEigenvalue != 1.0 || p.MaxIter != 1000 || p.Tol != 1e-10 {
+		t.Fatalf("defaults: %+v", p)
+	}
+}

@@ -1,0 +1,98 @@
+// Checkpointing. The paper's pipeline writes intermediate artifacts between
+// tasks (§5.3: "any intermediate files and the final MoNet structure ...
+// are written to the disk by the process with rank 0"), which lets an
+// interrupted multi-day run resume at a task boundary. Because every task
+// draws from its own numbered PRNG substream, resuming from a checkpoint
+// reproduces *exactly* the network an uninterrupted run would learn.
+
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// checkpoint file names inside Options.CheckpointDir.
+const (
+	ckptEnsembles = "ensembles.json"
+	ckptModules   = "modules.json"
+)
+
+// ensemblesCheckpoint persists the GaneSH task's output.
+type ensemblesCheckpoint struct {
+	// Seed and GaneshRuns guard against resuming with a different
+	// configuration.
+	Seed       uint64    `json:"seed"`
+	GaneshRuns int       `json:"ganeshRuns"`
+	N          int       `json:"n"`
+	Ensembles  [][][]int `json:"ensembles"`
+}
+
+// modulesCheckpoint persists the consensus task's output.
+type modulesCheckpoint struct {
+	Seed       uint64  `json:"seed"`
+	N          int     `json:"n"`
+	ModuleVars [][]int `json:"moduleVars"`
+}
+
+// loadCheckpoint reads and validates a checkpoint file into v; a missing
+// file returns (false, nil).
+func loadCheckpoint(dir, name string, v any) (bool, error) {
+	data, err := os.ReadFile(filepath.Join(dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return false, fmt.Errorf("core: corrupt checkpoint %s: %w", name, err)
+	}
+	return true, nil
+}
+
+// saveCheckpoint writes v atomically (write temp, rename).
+func saveCheckpoint(dir, name string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp := filepath.Join(dir, name+".tmp")
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, filepath.Join(dir, name))
+}
+
+// loadEnsembles returns the checkpointed GaneSH ensembles if present and
+// consistent with the options.
+func loadEnsembles(dir string, opt Options, n int) ([][][]int, error) {
+	var ck ensemblesCheckpoint
+	ok, err := loadCheckpoint(dir, ckptEnsembles, &ck)
+	if err != nil || !ok {
+		return nil, err
+	}
+	if ck.Seed != opt.Seed || ck.GaneshRuns != opt.GaneshRuns || ck.N != n {
+		return nil, fmt.Errorf("core: checkpoint %s was written by a different configuration (seed %d, G %d, n %d)",
+			ckptEnsembles, ck.Seed, ck.GaneshRuns, ck.N)
+	}
+	return ck.Ensembles, nil
+}
+
+// loadModules returns the checkpointed consensus modules if present and
+// consistent.
+func loadModules(dir string, opt Options, n int) ([][]int, bool, error) {
+	var ck modulesCheckpoint
+	ok, err := loadCheckpoint(dir, ckptModules, &ck)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	if ck.Seed != opt.Seed || ck.N != n {
+		return nil, false, fmt.Errorf("core: checkpoint %s was written by a different configuration", ckptModules)
+	}
+	return ck.ModuleVars, true, nil
+}

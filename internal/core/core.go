@@ -1,0 +1,401 @@
+// Package core assembles the full Lemon-Tree pipeline of the paper into one
+// engine: (1) an ensemble of GaneSH co-clustering runs, (2) sequential
+// consensus clustering of the sampled variable partitions into modules, and
+// (3) module learning — regression-tree ensembles, parent-split assignment,
+// and regulator scoring. It exposes a sequential entry point and a
+// distributed-memory parallel one that produce identical networks for every
+// rank count (the paper's §4.2 guarantee), plus per-task timing matching the
+// paper's breakdown (Fig. 5) and optional work recording for the scaling
+// model.
+package core
+
+import (
+	"fmt"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/consensus"
+	"parsimone/internal/dataset"
+	"parsimone/internal/ganesh"
+	"parsimone/internal/module"
+	"parsimone/internal/prng"
+	"parsimone/internal/result"
+	"parsimone/internal/score"
+	"parsimone/internal/splits"
+	"parsimone/internal/trace"
+)
+
+// Task names for the timing breakdown, matching the paper's decomposition.
+const (
+	TaskGaneSH    = "ganesh"
+	TaskConsensus = "consensus"
+	TaskModules   = "modules"
+)
+
+// Options configures a learning run. Use DefaultOptions as the base.
+type Options struct {
+	// Prior is the normal-gamma score prior.
+	Prior score.Prior
+	// Seed drives all randomness; identical seeds give identical
+	// networks across engines and rank counts.
+	Seed uint64
+	// GaneshRuns is G, the number of independent co-clustering runs
+	// sampled into the consensus ensemble.
+	GaneshRuns int
+	// GaneshGroups, when > 1, lets the parallel engine execute the G runs
+	// on disjoint rank groups of p/GaneshGroups ranks each — the paper's
+	// observation that "G runs of GaneSH can be executed in parallel on
+	// p/G processors each, without any communication" (§3.2.1). Because
+	// every run draws from its own numbered substream, the learned
+	// network is identical regardless of the grouping.
+	GaneshGroups int
+	// Ganesh configures each run (U update steps, K₀, L₀).
+	Ganesh ganesh.Params
+	// CoOccurrenceThreshold zeroes co-occurrence entries below it
+	// (§2.2.2).
+	CoOccurrenceThreshold float64
+	// Consensus configures the spectral consensus clustering.
+	Consensus consensus.Params
+	// Module configures tree learning and split assignment.
+	Module module.Params
+	// Standardize rescales each variable to zero mean and unit variance
+	// before quantization.
+	Standardize bool
+	// RecordWork enables work recording (sequential engine only); the
+	// recorded workload drives the strong-scaling time model.
+	RecordWork bool
+	// CheckpointDir, when set, persists each task's output there (as the
+	// paper's pipeline writes intermediate files between tasks, §5.3) and
+	// resumes from whatever checkpoints exist. Because each task draws
+	// from its own numbered PRNG substream, a resumed run learns exactly
+	// the network an uninterrupted run would. In the parallel engine only
+	// rank 0 writes, as in the paper.
+	CheckpointDir string
+}
+
+// DefaultOptions mirrors the paper's minimum-run-time experiment
+// configuration (§5.1): a single GaneSH run with one update step and one
+// regression tree per module, all variables as candidate parents.
+func DefaultOptions() Options {
+	return Options{
+		Prior:                 score.DefaultPrior(),
+		Seed:                  1,
+		GaneshRuns:            1,
+		Ganesh:                ganesh.Params{Updates: 1},
+		CoOccurrenceThreshold: 0.25,
+		Consensus:             consensus.Params{},
+		Module: module.Params{
+			Tree: ganesh.ObsParams{Updates: 2, Burnin: 1},
+		},
+		Standardize: true,
+	}
+}
+
+// Output is the result of a learning run.
+type Output struct {
+	// Network is the learned module network.
+	Network *result.Network
+	// Modules carries the full per-module artifacts (trees, parent
+	// scores).
+	Modules []*module.Module
+	// Splits is the raw split assignment behind the parent scores; CPDs
+	// are assembled from it (see BuildCPDs).
+	Splits splits.Result
+	// Timers holds the per-task wall-clock breakdown of this rank.
+	Timers *trace.Timers
+	// Workload is the recorded parallelizable work (nil unless
+	// Options.RecordWork was set on the sequential engine).
+	Workload *trace.Workload
+	// CommStats aggregates message traffic (parallel engine only).
+	CommStats comm.Stats
+}
+
+func (o Options) validate() error {
+	if err := o.Prior.Validate(); err != nil {
+		return err
+	}
+	if o.GaneshRuns < 1 {
+		return fmt.Errorf("core: GaneshRuns %d must be ≥ 1", o.GaneshRuns)
+	}
+	if o.CoOccurrenceThreshold < 0 || o.CoOccurrenceThreshold > 1 {
+		return fmt.Errorf("core: co-occurrence threshold %v outside [0,1]", o.CoOccurrenceThreshold)
+	}
+	return nil
+}
+
+// prepare standardizes (optionally) and quantizes the data set.
+func prepare(d *dataset.Data, opt Options) (*score.QData, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	if d.N < 2 || d.M < 2 {
+		return nil, fmt.Errorf("core: need at least a 2×2 data set, got %d×%d", d.N, d.M)
+	}
+	if d.N*d.M > score.MaxBlockCells {
+		return nil, fmt.Errorf("core: %d×%d = %d cells exceeds the exact-statistics capacity of %d (see score.MaxBlockCells)",
+			d.N, d.M, d.N*d.M, score.MaxBlockCells)
+	}
+	work := d
+	if opt.Standardize {
+		work = d.Clone()
+		work.Standardize()
+	}
+	return score.QuantizeData(work), nil
+}
+
+// pipeline is the engine-independent run: prim supplies the sequential or
+// parallel task primitives.
+type pipeline struct {
+	// ganeshEnsembles returns the variable-partition snapshot of every
+	// co-clustering run, indexed by run.
+	ganeshEnsembles func(opt Options, master *prng.MRG3) [][][]int
+	moduleRun       func(moduleVars [][]int, par module.Params, g *prng.MRG3) *module.Result
+	// writesCheckpoints is true on the rank that persists checkpoints
+	// (the only rank in the sequential engine; rank 0 in the parallel
+	// one).
+	writesCheckpoints bool
+}
+
+// snapshotOf converts a final variable → cluster assignment into the
+// partition snapshot consumed by the consensus task.
+func snapshotOf(assign []int) [][]int {
+	byCluster := map[int][]int{}
+	maxC := -1
+	for x, c := range assign {
+		byCluster[c] = append(byCluster[c], x)
+		if c > maxC {
+			maxC = c
+		}
+	}
+	snap := make([][]int, 0, len(byCluster))
+	for c := 0; c <= maxC; c++ {
+		if vars, ok := byCluster[c]; ok {
+			snap = append(snap, vars)
+		}
+	}
+	return snap
+}
+
+func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *trace.Timers) (*Output, error) {
+	master := prng.New(opt.Seed)
+
+	// Task 1: G GaneSH co-clustering runs, each on its own numbered
+	// substream, so the sampled ensemble is independent of the execution
+	// layout (all ranks per run, or disjoint rank groups per §3.2.1).
+	var ensembles [][][]int
+	var resumedModules [][]int
+	haveModules := false
+	if opt.CheckpointDir != "" {
+		var err error
+		if resumedModules, haveModules, err = loadModules(opt.CheckpointDir, opt, q.N); err != nil {
+			return nil, err
+		}
+		if !haveModules {
+			if ensembles, err = loadEnsembles(opt.CheckpointDir, opt, q.N); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if !haveModules && ensembles == nil {
+		timers.Time(TaskGaneSH, func() {
+			ensembles = prim.ganeshEnsembles(opt, master)
+		})
+		if opt.CheckpointDir != "" && prim.writesCheckpoints {
+			ck := ensemblesCheckpoint{Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: q.N, Ensembles: ensembles}
+			if err := saveCheckpoint(opt.CheckpointDir, ckptEnsembles, ck); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Task 2: consensus clustering, sequential as in the paper (<0.04 %
+	// of run time), replicated on every rank in the parallel engine.
+	var moduleVars [][]int
+	if haveModules {
+		moduleVars = resumedModules
+	} else {
+		timers.Time(TaskConsensus, func() {
+			a := ganesh.CoOccurrence(q.N, ensembles, opt.CoOccurrenceThreshold)
+			moduleVars = consensus.Cluster(q.N, a, opt.Consensus)
+		})
+		if opt.CheckpointDir != "" && prim.writesCheckpoints {
+			ck := modulesCheckpoint{Seed: opt.Seed, N: q.N, ModuleVars: moduleVars}
+			if err := saveCheckpoint(opt.CheckpointDir, ckptModules, ck); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Task 3: module learning on its own substream.
+	var modRes *module.Result
+	timers.Time(TaskModules, func() {
+		g := master.Substream(uint64(opt.GaneshRuns + 1))
+		modRes = prim.moduleRun(moduleVars, opt.Module, g)
+	})
+
+	// Assemble the network artifact.
+	net := &result.Network{N: d.N, M: d.M, Names: append([]string(nil), d.Names...)}
+	for mi, mod := range modRes.Modules {
+		rm := result.Module{ID: mi, Variables: append([]int(nil), mod.Vars...)}
+		for _, v := range rm.Variables {
+			rm.VariableNames = append(rm.VariableNames, d.Names[v])
+		}
+		for _, ps := range mod.ParentsWeighted {
+			rm.Parents = append(rm.Parents, result.Parent{
+				Index: ps.Parent, Name: d.Names[ps.Parent], Score: ps.Score, Count: ps.Count,
+			})
+		}
+		for _, ps := range mod.ParentsUniform {
+			rm.ParentsUniform = append(rm.ParentsUniform, result.Parent{
+				Index: ps.Parent, Name: d.Names[ps.Parent], Score: ps.Score, Count: ps.Count,
+			})
+		}
+		net.Modules = append(net.Modules, rm)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return &Output{Network: net, Modules: modRes.Modules, Splits: modRes.Splits, Timers: timers}, nil
+}
+
+// Learn runs the full pipeline sequentially.
+func Learn(d *dataset.Data, opt Options) (*Output, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	q, err := prepare(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	var wl *trace.Workload
+	if opt.RecordWork {
+		wl = &trace.Workload{}
+	}
+	timers := trace.NewTimers()
+	out, err := run(d, q, opt, pipeline{
+		ganeshEnsembles: func(opt Options, master *prng.MRG3) [][][]int {
+			ensembles := make([][][]int, opt.GaneshRuns)
+			for r := 0; r < opt.GaneshRuns; r++ {
+				g := master.Substream(uint64(r + 1))
+				ensembles[r] = snapshotOf(ganesh.Run(q, opt.Prior, opt.Ganesh, g, wl).VarAssignment())
+			}
+			return ensembles
+		},
+		moduleRun: func(moduleVars [][]int, par module.Params, g *prng.MRG3) *module.Result {
+			return module.Learn(q, opt.Prior, moduleVars, par, g, wl)
+		},
+		writesCheckpoints: true,
+	}, timers)
+	if err != nil {
+		return nil, err
+	}
+	out.Workload = wl
+	return out, nil
+}
+
+// LearnWithComm runs the full pipeline on an existing communicator; every
+// rank returns an identical network.
+func LearnWithComm(c *comm.Comm, d *dataset.Data, opt Options) (*Output, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if opt.RecordWork {
+		return nil, fmt.Errorf("core: work recording is only supported on the sequential engine")
+	}
+	q, err := prepare(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	timers := trace.NewTimers()
+	out, err := run(d, q, opt, pipeline{
+		ganeshEnsembles: func(opt Options, master *prng.MRG3) [][][]int {
+			return parallelEnsembles(c, q, opt, master)
+		},
+		moduleRun: func(moduleVars [][]int, par module.Params, g *prng.MRG3) *module.Result {
+			return module.LearnParallel(c, q, opt.Prior, moduleVars, par, g)
+		},
+		writesCheckpoints: c.Rank() == 0,
+	}, timers)
+	if err != nil {
+		return nil, err
+	}
+	out.CommStats = c.Stats()
+	return out, nil
+}
+
+// BuildCPDs assembles the executable regression-tree CPD of every learned
+// module (§2.1: the shared conditional distribution of a module's
+// variables), from a learning output and the data set it was learned from.
+// The same Options must be passed so preprocessing matches.
+func BuildCPDs(d *dataset.Data, opt Options, out *Output) ([]*module.CPD, error) {
+	q, err := prepare(d, opt)
+	if err != nil {
+		return nil, err
+	}
+	res := &module.Result{Modules: out.Modules, Splits: out.Splits}
+	return module.BuildCPDs(res, q, opt.Prior)
+}
+
+// parallelEnsembles executes the G GaneSH runs on c's ranks: all ranks per
+// run by default, or — with Options.GaneshGroups > 1 — on disjoint rank
+// groups, each group handling the runs r ≡ group (mod groups), followed by
+// an exchange of the sampled partitions (§3.2.1: the runs need no
+// communication between groups).
+func parallelEnsembles(c *comm.Comm, q *score.QData, opt Options, master *prng.MRG3) [][][]int {
+	groups := opt.GaneshGroups
+	if groups <= 1 || c.Size() == 1 || opt.GaneshRuns == 1 {
+		ensembles := make([][][]int, opt.GaneshRuns)
+		for r := 0; r < opt.GaneshRuns; r++ {
+			g := master.Substream(uint64(r + 1))
+			ensembles[r] = snapshotOf(ganesh.RunParallel(c, q, opt.Prior, opt.Ganesh, g).VarAssignment())
+		}
+		return ensembles
+	}
+	groups = min(groups, c.Size(), opt.GaneshRuns)
+	// Contiguous rank groups of near-equal size.
+	color := c.Rank() * groups / c.Size()
+	sub := comm.Split(c, color)
+	type runSnap struct {
+		R    int
+		Snap [][]int
+	}
+	var local []runSnap
+	for r := color; r < opt.GaneshRuns; r += groups {
+		g := master.Substream(uint64(r + 1))
+		snap := snapshotOf(ganesh.RunParallel(sub, q, opt.Prior, opt.Ganesh, g).VarAssignment())
+		// Only the group's first rank contributes to the exchange, so
+		// each run appears exactly once.
+		if sub.Rank() == 0 {
+			local = append(local, runSnap{R: r, Snap: snap})
+		}
+	}
+	all := comm.AllGatherv(c, local)
+	ensembles := make([][][]int, opt.GaneshRuns)
+	for _, rs := range all {
+		ensembles[rs.R] = rs.Snap
+	}
+	return ensembles
+}
+
+// LearnParallel spins up p ranks, runs the parallel pipeline, and returns
+// rank 0's output with the total message traffic of all ranks.
+func LearnParallel(p int, d *dataset.Data, opt Options) (*Output, error) {
+	outs := make([]*Output, p)
+	stats, err := comm.Run(p, func(c *comm.Comm) error {
+		out, err := LearnWithComm(c, d, opt)
+		if err != nil {
+			return err
+		}
+		outs[c.Rank()] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := comm.Stats{}
+	for _, s := range stats {
+		total.Add(s)
+	}
+	out := outs[0]
+	out.CommStats = total
+	return out, nil
+}

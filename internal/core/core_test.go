@@ -1,0 +1,435 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"parsimone/internal/dataset"
+	"parsimone/internal/ganesh"
+	"parsimone/internal/result"
+	"parsimone/internal/splits"
+	"parsimone/internal/synth"
+)
+
+func testData(t testing.TB, n, m int, seed uint64) (*dataset.Data, *synth.Truth) {
+	t.Helper()
+	d, truth, err := synth.Generate(synth.Config{
+		N: n, M: m, Regulators: max(2, n/10), Modules: max(2, n/12), Noise: 0.3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, truth
+}
+
+// fastOptions keeps unit-test runs quick.
+func fastOptions(seed uint64) Options {
+	opt := DefaultOptions()
+	opt.Seed = seed
+	opt.Ganesh.Updates = 1
+	opt.Module.Splits = splits.Params{NumSplits: 2, MaxSteps: 16}
+	return opt
+}
+
+func TestLearnEndToEnd(t *testing.T) {
+	d, _ := testData(t, 30, 24, 1)
+	out, err := Learn(d, fastOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Network == nil || len(out.Network.Modules) == 0 {
+		t.Fatal("no modules learned")
+	}
+	if err := out.Network.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Task breakdown present and dominated by module learning
+	// (paper §5.3.1: ≥94.7 % sequentially).
+	for _, task := range []string{TaskGaneSH, TaskConsensus, TaskModules} {
+		if out.Timers.Get(task) < 0 {
+			t.Fatalf("task %s missing", task)
+		}
+	}
+}
+
+func TestLearnDeterministic(t *testing.T) {
+	d, _ := testData(t, 24, 20, 2)
+	a, err := Learn(d, fastOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Learn(d, fastOptions(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(a.Network, b.Network) {
+		t.Fatal("identical seeds gave different networks")
+	}
+	c, err := Learn(d, fastOptions(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Equal(a.Network, c.Network) {
+		t.Fatal("different seeds gave identical networks")
+	}
+}
+
+// TestPInvariance is the paper's headline correctness property (§4.2): the
+// parallel engine learns exactly the network the sequential engine learns,
+// for every processor count.
+func TestPInvariance(t *testing.T) {
+	d, _ := testData(t, 24, 20, 3)
+	opt := fastOptions(7)
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		got, err := LearnParallel(p, d, opt)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !result.Equal(got.Network, want.Network) {
+			t.Fatalf("p=%d: network differs from sequential", p)
+		}
+	}
+}
+
+func TestLearnRecordsWork(t *testing.T) {
+	d, _ := testData(t, 24, 20, 4)
+	opt := fastOptions(9)
+	opt.RecordWork = true
+	out, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Workload == nil || out.Workload.TotalCost() <= 0 {
+		t.Fatal("work not recorded")
+	}
+	if out.Workload.Phase(splits.PhaseAssign) == nil {
+		t.Fatal("split phase missing from workload")
+	}
+}
+
+func TestLearnParallelRejectsRecording(t *testing.T) {
+	d, _ := testData(t, 20, 16, 5)
+	opt := fastOptions(11)
+	opt.RecordWork = true
+	if _, err := LearnParallel(2, d, opt); err == nil {
+		t.Fatal("parallel engine accepted work recording")
+	}
+}
+
+func TestLearnValidation(t *testing.T) {
+	d, _ := testData(t, 20, 16, 6)
+	opt := fastOptions(1)
+	opt.GaneshRuns = 0
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("GaneshRuns 0 accepted")
+	}
+	opt = fastOptions(1)
+	opt.CoOccurrenceThreshold = 1.5
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("bad threshold accepted")
+	}
+	opt = fastOptions(1)
+	opt.Prior.Alpha0 = -1
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("bad prior accepted")
+	}
+	tiny := dataset.New(1, 1)
+	if _, err := Learn(tiny, fastOptions(1)); err == nil {
+		t.Fatal("1×1 data set accepted")
+	}
+}
+
+func TestLearnDoesNotMutateInput(t *testing.T) {
+	d, _ := testData(t, 20, 16, 7)
+	before := append([]float64(nil), d.Values...)
+	if _, err := Learn(d, fastOptions(13)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range before {
+		if d.Values[i] != before[i] {
+			t.Fatal("input data mutated")
+		}
+	}
+}
+
+func TestMultipleGaneshRuns(t *testing.T) {
+	d, _ := testData(t, 24, 20, 8)
+	opt := fastOptions(15)
+	opt.GaneshRuns = 3
+	out, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.Network.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// With a threshold below 1/G, consensus still forms modules.
+	if len(out.Network.Modules) == 0 {
+		t.Fatal("no modules from multi-run ensemble")
+	}
+}
+
+// TestModuleRecovery: the full pipeline must group true module members
+// together far better than chance (measured by ARI over member genes).
+func TestModuleRecovery(t *testing.T) {
+	d, truth, err := synth.Generate(synth.Config{
+		N: 40, M: 50, Regulators: 4, Modules: 3, Noise: 0.2, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := fastOptions(17)
+	opt.Ganesh.Updates = 3
+	out, errLearn := Learn(d, opt)
+	if errLearn != nil {
+		t.Fatal(errLearn)
+	}
+	learned := out.Network.ModuleOf()
+	// ARI excludes items labeled -1 on either side (regulators in the
+	// truth, unassigned variables in the learned network).
+	ari := result.AdjustedRandIndex(truth.ModuleOf, learned)
+	if ari < 0.3 {
+		t.Fatalf("module recovery ARI %.3f below 0.3", ari)
+	}
+}
+
+func TestDefaultOptionsMatchPaperMinimumConfig(t *testing.T) {
+	opt := DefaultOptions()
+	if opt.GaneshRuns != 1 {
+		t.Fatal("paper's minimum config uses a single GaneSH run")
+	}
+	if opt.Ganesh.Updates != 1 {
+		t.Fatal("paper's minimum config uses one update step")
+	}
+	if got := opt.Module.Tree.Updates - opt.Module.Tree.Burnin; got != 1 {
+		t.Fatalf("paper's minimum config builds one tree per module, got %d", got)
+	}
+	if opt.Module.Splits.Candidates != nil {
+		t.Fatal("default candidate set must be all variables")
+	}
+}
+
+func TestGaneshTaskSubordinateToModules(t *testing.T) {
+	// §5.3.1: the module-learning task dominates. Check on the recorded
+	// workload (costs, not wall time, for robustness).
+	d, _ := testData(t, 30, 30, 10)
+	opt := fastOptions(19)
+	opt.RecordWork = true
+	out, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := out.Workload.Phase(splits.PhaseAssign).TotalCost()
+	var ganeshCost float64
+	for _, name := range []string{ganesh.PhaseVarReassign, ganesh.PhaseVarMerge} {
+		if ph := out.Workload.Phase(name); ph != nil {
+			ganeshCost += ph.TotalCost()
+		}
+	}
+	if assign <= ganeshCost {
+		t.Fatalf("split assignment (%.0f) does not dominate GaneSH (%.0f)", assign, ganeshCost)
+	}
+}
+
+func BenchmarkLearnSequential(b *testing.B) {
+	d, _ := testData(b, 40, 40, 1)
+	opt := fastOptions(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Learn(d, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLearnParallelP4(b *testing.B) {
+	d, _ := testData(b, 40, 40, 1)
+	opt := fastOptions(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := LearnParallel(4, d, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestPInvarianceDynamicSplits: the dynamic split distribution (the paper's
+// §6 future work) must also reproduce the sequential network exactly.
+func TestPInvarianceDynamicSplits(t *testing.T) {
+	d, _ := testData(t, 24, 20, 11)
+	opt := fastOptions(21)
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Module.Splits.DynamicChunk = 16
+	for _, p := range []int{2, 5} {
+		got, err := LearnParallel(p, d, opt)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !result.Equal(got.Network, want.Network) {
+			t.Fatalf("p=%d: dynamic-splits network differs from sequential", p)
+		}
+	}
+}
+
+// TestPInvarianceGaneshGroups: executing the G GaneSH runs on disjoint rank
+// groups (§3.2.1) must still learn exactly the sequential network.
+func TestPInvarianceGaneshGroups(t *testing.T) {
+	d, _ := testData(t, 24, 20, 12)
+	opt := fastOptions(23)
+	opt.GaneshRuns = 4
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ p, groups int }{
+		{2, 2}, {4, 2}, {4, 4}, {5, 3}, {3, 8}, // groups > p clamps
+	} {
+		opt.GaneshGroups = tc.groups
+		got, err := LearnParallel(tc.p, d, opt)
+		if err != nil {
+			t.Fatalf("p=%d groups=%d: %v", tc.p, tc.groups, err)
+		}
+		if !result.Equal(got.Network, want.Network) {
+			t.Fatalf("p=%d groups=%d: network differs from sequential", tc.p, tc.groups)
+		}
+	}
+}
+
+// TestPInvarianceScanSelection: the paper's segmented-scan selection wired
+// through the full pipeline must also reproduce the sequential network.
+func TestPInvarianceScanSelection(t *testing.T) {
+	d, _ := testData(t, 24, 20, 13)
+	opt := fastOptions(25)
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Module.Splits.ScanSelection = true
+	for _, p := range []int{2, 4} {
+		got, err := LearnParallel(p, d, opt)
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if !result.Equal(got.Network, want.Network) {
+			t.Fatalf("p=%d: scan-selection network differs from sequential", p)
+		}
+	}
+}
+
+func TestLearnRejectsOverflowSizedData(t *testing.T) {
+	// A data set whose cell count exceeds the exact-statistics capacity
+	// must be rejected up front, not corrupt Σx² silently.
+	d := &dataset.Data{N: 1 << 13, M: 1 << 13} // 2^26 cells > 2^25
+	d.Names = make([]string, d.N)
+	d.Values = make([]float64, d.N*d.M)
+	if _, err := Learn(d, fastOptions(1)); err == nil {
+		t.Fatal("oversized data set accepted")
+	}
+}
+
+// TestCheckpointResume: interrupting after any task boundary and resuming
+// from the checkpoints must learn exactly the uninterrupted network, and
+// must skip the completed tasks.
+func TestCheckpointResume(t *testing.T) {
+	d, _ := testData(t, 24, 20, 14)
+	opt := fastOptions(27)
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opt.CheckpointDir = dir
+	first, err := Learn(d, opt) // writes both checkpoints
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(first.Network, want.Network) {
+		t.Fatal("checkpointing changed the result")
+	}
+	resumed, err := Learn(d, opt) // resumes from the modules checkpoint
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(resumed.Network, want.Network) {
+		t.Fatal("resumed network differs")
+	}
+	if resumed.Timers.Get(TaskGaneSH) != 0 || resumed.Timers.Get(TaskConsensus) != 0 {
+		t.Fatal("resume did not skip completed tasks")
+	}
+}
+
+func TestCheckpointPartialResume(t *testing.T) {
+	d, _ := testData(t, 24, 20, 15)
+	opt := fastOptions(29)
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opt.CheckpointDir = dir
+	if _, err := Learn(d, opt); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash between task 1 and task 2: keep only the GaneSH
+	// checkpoint.
+	if err := os.Remove(filepath.Join(dir, "modules.json")); err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(resumed.Network, want.Network) {
+		t.Fatal("partial resume differs")
+	}
+	if resumed.Timers.Get(TaskGaneSH) != 0 {
+		t.Fatal("partial resume re-ran GaneSH")
+	}
+}
+
+func TestCheckpointConfigMismatchRejected(t *testing.T) {
+	d, _ := testData(t, 24, 20, 16)
+	opt := fastOptions(31)
+	dir := t.TempDir()
+	opt.CheckpointDir = dir
+	if _, err := Learn(d, opt); err != nil {
+		t.Fatal(err)
+	}
+	opt.Seed = 999 // different run must not silently reuse the checkpoint
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("mismatched checkpoint accepted")
+	}
+}
+
+func TestCheckpointParallelWritesAndResumes(t *testing.T) {
+	d, _ := testData(t, 24, 20, 17)
+	opt := fastOptions(33)
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opt.CheckpointDir = dir
+	if _, err := LearnParallel(3, d, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "ensembles.json")); err != nil {
+		t.Fatal("parallel run did not write checkpoints")
+	}
+	// Sequential resume from the parallel run's checkpoints: identical.
+	resumed, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(resumed.Network, want.Network) {
+		t.Fatal("cross-engine resume differs")
+	}
+}

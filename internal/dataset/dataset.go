@@ -1,0 +1,237 @@
+// Package dataset holds the n×m expression matrix the learners consume:
+// n variables (genes) observed in m conditions, continuous values, as in
+// §2.1 of the paper. It supports the TSV interchange format used by
+// Lemon-Tree-style tools (one row per variable: name followed by m values)
+// and row/column subsetting for the paper's "first n variables × first m
+// observations" experiment construction (§5.2).
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Data is an n×m matrix of observations with named variables.
+type Data struct {
+	// Names has one entry per variable (row).
+	Names []string
+	// Values is row-major: Values[i*M+j] is variable i in observation j.
+	Values []float64
+	N, M   int
+}
+
+// New allocates an n×m data set with generated variable names G0001….
+func New(n, m int) *Data {
+	d := &Data{
+		Names:  make([]string, n),
+		Values: make([]float64, n*m),
+		N:      n,
+		M:      m,
+	}
+	for i := range d.Names {
+		d.Names[i] = fmt.Sprintf("G%04d", i)
+	}
+	return d
+}
+
+// At returns the value of variable i in observation j.
+func (d *Data) At(i, j int) float64 { return d.Values[i*d.M+j] }
+
+// Set assigns the value of variable i in observation j.
+func (d *Data) Set(i, j int, v float64) { d.Values[i*d.M+j] = v }
+
+// Row returns the observation vector of variable i, aliasing the underlying
+// storage.
+func (d *Data) Row(i int) []float64 { return d.Values[i*d.M : (i+1)*d.M] }
+
+// Subset returns a deep copy restricted to the first n variables and first m
+// observations, mirroring the paper's construction of smaller benchmark data
+// sets from the full compendium.
+func (d *Data) Subset(n, m int) (*Data, error) {
+	if n <= 0 || n > d.N || m <= 0 || m > d.M {
+		return nil, fmt.Errorf("dataset: subset %d×%d outside %d×%d", n, m, d.N, d.M)
+	}
+	s := New(n, m)
+	copy(s.Names, d.Names[:n])
+	for i := 0; i < n; i++ {
+		copy(s.Row(i), d.Row(i)[:m])
+	}
+	return s, nil
+}
+
+// Clone returns a deep copy.
+func (d *Data) Clone() *Data {
+	c := New(d.N, d.M)
+	copy(c.Names, d.Names)
+	copy(c.Values, d.Values)
+	return c
+}
+
+// Validate checks structural invariants and that all values are finite.
+func (d *Data) Validate() error {
+	if d.N < 0 || d.M < 0 {
+		return fmt.Errorf("dataset: negative dimensions %d×%d", d.N, d.M)
+	}
+	if len(d.Names) != d.N {
+		return fmt.Errorf("dataset: %d names for %d variables", len(d.Names), d.N)
+	}
+	if len(d.Values) != d.N*d.M {
+		return fmt.Errorf("dataset: %d values for %d×%d matrix", len(d.Values), d.N, d.M)
+	}
+	for i, v := range d.Values {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("dataset: non-finite value at cell %d", i)
+		}
+	}
+	return nil
+}
+
+// Standardize rescales each variable in place to zero mean and unit variance
+// (constant rows are left at zero), the usual preprocessing for expression
+// compendia before module-network learning.
+func (d *Data) Standardize() {
+	for i := 0; i < d.N; i++ {
+		row := d.Row(i)
+		var sum float64
+		for _, v := range row {
+			sum += v
+		}
+		mean := sum / float64(d.M)
+		var ss float64
+		for _, v := range row {
+			dv := v - mean
+			ss += dv * dv
+		}
+		sd := math.Sqrt(ss / float64(d.M))
+		for j, v := range row {
+			if sd > 0 {
+				row[j] = (v - mean) / sd
+			} else {
+				row[j] = 0
+			}
+		}
+	}
+}
+
+// WriteTSV writes the data set as a header line ("gene" plus observation
+// labels) followed by one line per variable: name, then m tab-separated
+// values.
+func (d *Data) WriteTSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "gene")
+	for j := 0; j < d.M; j++ {
+		fmt.Fprintf(bw, "\tobs%d", j)
+	}
+	fmt.Fprintln(bw)
+	for i := 0; i < d.N; i++ {
+		fmt.Fprint(bw, d.Names[i])
+		for _, v := range d.Row(i) {
+			fmt.Fprintf(bw, "\t%g", v)
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// ReadTSV parses the format written by WriteTSV. A header line is detected
+// by a non-numeric second field and skipped. Rows must all have the same
+// number of values.
+func ReadTSV(r io.Reader) (*Data, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	var names []string
+	var values []float64
+	m := -1
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimRight(sc.Text(), "\r\n")
+		if text == "" {
+			continue
+		}
+		fields := strings.Split(text, "\t")
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("dataset: line %d: need a name and at least one value", line)
+		}
+		if line == 1 {
+			if _, err := strconv.ParseFloat(fields[1], 64); err != nil {
+				continue // header
+			}
+		}
+		if m == -1 {
+			m = len(fields) - 1
+		} else if len(fields)-1 != m {
+			return nil, fmt.Errorf("dataset: line %d: %d values, want %d", line, len(fields)-1, m)
+		}
+		names = append(names, fields[0])
+		for _, f := range fields[1:] {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
+			}
+			values = append(values, v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dataset: no data rows")
+	}
+	return &Data{Names: names, Values: values, N: len(names), M: m}, nil
+}
+
+// LoadTSV reads a data set from the named file.
+func LoadTSV(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	d, err := ReadTSV(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
+// SaveTSV writes the data set to the named file.
+func (d *Data) SaveTSV(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := d.WriteTSV(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SelectObservations returns a deep copy containing only the given
+// observation columns, in the given order. Used for cross-validation folds.
+func (d *Data) SelectObservations(cols []int) (*Data, error) {
+	for _, j := range cols {
+		if j < 0 || j >= d.M {
+			return nil, fmt.Errorf("dataset: observation %d outside [0,%d)", j, d.M)
+		}
+	}
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("dataset: empty observation selection")
+	}
+	s := New(d.N, len(cols))
+	copy(s.Names, d.Names)
+	for i := 0; i < d.N; i++ {
+		row := d.Row(i)
+		out := s.Row(i)
+		for k, j := range cols {
+			out[k] = row[j]
+		}
+	}
+	return s, nil
+}

@@ -1,0 +1,160 @@
+// Package eval provides the held-out evaluation harness for learned module
+// networks: k-fold cross-validation over observations, scoring each fold's
+// network by how well its regression-tree CPDs predict the held-out
+// conditions — predicted module mean (RMSE) and Gaussian log-likelihood —
+// against the global-mean baseline. This is the generalization check that
+// complements the paper's run-time evaluation: the learned structures must
+// carry signal, not just be computed quickly.
+package eval
+
+import (
+	"fmt"
+	"math"
+
+	"parsimone/internal/core"
+	"parsimone/internal/dataset"
+	"parsimone/internal/module"
+	"parsimone/internal/score"
+)
+
+// FoldResult is the held-out performance of one fold.
+type FoldResult struct {
+	Fold    int
+	Modules int
+	// CPDRMSE and BaselineRMSE average over modules the root-mean-square
+	// error of the predicted module mean on held-out observations.
+	CPDRMSE, BaselineRMSE float64
+	// CPDLogLik and BaselineLogLik are mean per-cell held-out Gaussian
+	// log-likelihoods.
+	CPDLogLik, BaselineLogLik float64
+}
+
+// CVResult aggregates a cross-validation run.
+type CVResult struct {
+	Folds []FoldResult
+	// Mean values across folds.
+	CPDRMSE, BaselineRMSE     float64
+	CPDLogLik, BaselineLogLik float64
+}
+
+// CrossValidate learns a module network on each of k training folds
+// (observations held out round-robin) and evaluates the fold's CPDs on the
+// held-out observations. The data set is standardized once up front so
+// train and test share the transform (a slight information leak through the
+// scaling constants, acceptable for a model-comparison harness and noted
+// here for transparency); opt.Standardize is therefore forced off.
+func CrossValidate(d *dataset.Data, opt core.Options, k int) (*CVResult, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("eval: need at least 2 folds, got %d", k)
+	}
+	if d.M < 2*k {
+		return nil, fmt.Errorf("eval: %d observations cannot support %d folds", d.M, k)
+	}
+	std := d.Clone()
+	std.Standardize()
+	opt.Standardize = false
+
+	cv := &CVResult{}
+	for f := 0; f < k; f++ {
+		var trainCols, testCols []int
+		for j := 0; j < d.M; j++ {
+			if j%k == f {
+				testCols = append(testCols, j)
+			} else {
+				trainCols = append(trainCols, j)
+			}
+		}
+		train, err := std.SelectObservations(trainCols)
+		if err != nil {
+			return nil, err
+		}
+		out, err := core.Learn(train, opt)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fold %d: %w", f, err)
+		}
+		cpds, err := core.BuildCPDs(train, opt, out)
+		if err != nil {
+			return nil, fmt.Errorf("eval: fold %d: %w", f, err)
+		}
+		fr := evaluateFold(std, train, out, cpds, testCols)
+		fr.Fold = f
+		cv.Folds = append(cv.Folds, fr)
+	}
+	for _, fr := range cv.Folds {
+		cv.CPDRMSE += fr.CPDRMSE
+		cv.BaselineRMSE += fr.BaselineRMSE
+		cv.CPDLogLik += fr.CPDLogLik
+		cv.BaselineLogLik += fr.BaselineLogLik
+	}
+	n := float64(len(cv.Folds))
+	cv.CPDRMSE /= n
+	cv.BaselineRMSE /= n
+	cv.CPDLogLik /= n
+	cv.BaselineLogLik /= n
+	return cv, nil
+}
+
+// evaluateFold scores one fold's CPDs on the held-out columns of std.
+// prPrior provides the baseline's posterior-predictive conversion, matching
+// the CPDs' leaf distributions.
+var prPrior = score.DefaultPrior()
+
+func evaluateFold(std, train *dataset.Data, out *core.Output, cpds []*module.CPD, testCols []int) FoldResult {
+	fr := FoldResult{Modules: len(cpds)}
+	if len(cpds) == 0 {
+		return fr
+	}
+	var sumRMSEc, sumRMSEb, sumLLc, sumLLb float64
+	cells := 0
+	for _, cpd := range cpds {
+		vars := out.Modules[cpd.Module].Vars
+		// Training global distribution of the module.
+		var tr score.Stats
+		for _, x := range vars {
+			for j := 0; j < train.M; j++ {
+				tr.Add(score.Quantize(train.At(x, j)))
+			}
+		}
+		gMean, gVar := prPrior.Predictive(tr)
+
+		var seC, seB float64
+		var llC, llB float64
+		for _, j := range testCols {
+			obs := make([]int64, std.N)
+			for x := 0; x < std.N; x++ {
+				obs[x] = score.Quantize(std.At(x, j))
+			}
+			pred, _ := cpd.Predict(obs)
+			var actual float64
+			for _, x := range vars {
+				actual += std.At(x, j)
+			}
+			actual /= float64(len(vars))
+			seC += (pred - actual) * (pred - actual)
+			seB += (gMean - actual) * (gMean - actual)
+			for _, x := range vars {
+				v := score.Quantize(std.At(x, j))
+				llC += cpd.LogLikelihood(obs, v)
+				llB += gaussLogLik(score.Dequantize(v), gMean, gVar)
+				cells++
+			}
+		}
+		sumRMSEc += math.Sqrt(seC / float64(len(testCols)))
+		sumRMSEb += math.Sqrt(seB / float64(len(testCols)))
+		sumLLc += llC
+		sumLLb += llB
+	}
+	k := float64(len(cpds))
+	fr.CPDRMSE = sumRMSEc / k
+	fr.BaselineRMSE = sumRMSEb / k
+	if cells > 0 {
+		fr.CPDLogLik = sumLLc / float64(cells)
+		fr.BaselineLogLik = sumLLb / float64(cells)
+	}
+	return fr
+}
+
+func gaussLogLik(x, mean, variance float64) float64 {
+	d := x - mean
+	return -0.5*math.Log(2*math.Pi*variance) - d*d/(2*variance)
+}

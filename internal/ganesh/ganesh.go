@@ -1,0 +1,353 @@
+// Package ganesh implements the GaneSH Gibbs-sampler co-clustering task of
+// Lemon-Tree (Joshi et al. 2008; §2.2.1 and Algorithms 1–3 of the paper),
+// in a sequential and a distributed-memory parallel variant that produce
+// bit-identical results.
+//
+// Each update step performs four sweeps: n variable reassignments, a
+// variable-cluster merge pass, and — per variable cluster — m observation
+// reassignments and an observation-cluster merge pass. Every individual
+// decision is a collective weighted random choice over score gains. The
+// parallel variant partitions the candidate evaluations of each decision
+// over ranks (Algorithms 1–2), all-gathers the gains, and every rank then
+// draws the same choice from the replicated PRNG stream; state transitions
+// are applied redundantly on all ranks, so the clustering state never needs
+// to be communicated.
+package ganesh
+
+import (
+	"parsimone/internal/cluster"
+	"parsimone/internal/comm"
+	"parsimone/internal/prng"
+	"parsimone/internal/score"
+	"parsimone/internal/trace"
+)
+
+// Params configures a GaneSH run.
+type Params struct {
+	// InitVarClusters is K₀, the initial number of variable clusters;
+	// 0 means n/2, the Lemon-Tree default.
+	InitVarClusters int
+	// InitObsClusters is the initial number of observation clusters per
+	// variable cluster; 0 means ⌈√m⌉, the Lemon-Tree default.
+	InitObsClusters int
+	// Updates is U, the number of update steps.
+	Updates int
+}
+
+func (p Params) withDefaults(n, m int) Params {
+	if p.InitVarClusters == 0 {
+		p.InitVarClusters = max(1, n/2)
+	}
+	if p.InitObsClusters == 0 {
+		c := 1
+		for c*c < m {
+			c++
+		}
+		p.InitObsClusters = c
+	}
+	if p.Updates == 0 {
+		p.Updates = 1
+	}
+	return p
+}
+
+// Phase names used for work recording.
+const (
+	PhaseVarReassign = "ganesh/var-reassign"
+	PhaseVarMerge    = "ganesh/var-merge"
+	PhaseObsReassign = "ganesh/obs-reassign"
+	PhaseObsMerge    = "ganesh/obs-merge"
+)
+
+// logMLCost is the cost-unit weight of one marginal-likelihood evaluation
+// relative to one cell-statistics update.
+const logMLCost = 8
+
+// executor abstracts how a decision's candidate gains are computed: locally
+// (sequential) or block-partitioned over ranks followed by an all-gather
+// (parallel). Implementations must return exactly the same gains vector.
+type executor interface {
+	// gains evaluates eval(i) for i in [0, count) and returns all values.
+	gains(count int, eval func(int) float64) []float64
+}
+
+type seqExec struct{}
+
+func (seqExec) gains(count int, eval func(int) float64) []float64 {
+	out := make([]float64, count)
+	for i := range out {
+		out[i] = eval(i)
+	}
+	return out
+}
+
+type parExec struct{ c *comm.Comm }
+
+func (e parExec) gains(count int, eval func(int) float64) []float64 {
+	lo, hi := comm.BlockRange(count, e.c.Size(), e.c.Rank())
+	local := make([]float64, 0, hi-lo)
+	for i := lo; i < hi; i++ {
+		local = append(local, eval(i))
+	}
+	return comm.AllGatherv(e.c, local)
+}
+
+// engine runs the sampler against an executor; the sequential and parallel
+// entry points share all decision logic, which is what guarantees identical
+// PRNG consumption and identical results.
+type engine struct {
+	q     *score.QData
+	prior score.Prior
+	g     *prng.MRG3
+	ex    executor
+	wl    *trace.Workload
+	// decision counts segments for per-phase work recording.
+	decision map[string]int
+}
+
+func newEngine(q *score.QData, pr score.Prior, g *prng.MRG3, ex executor, wl *trace.Workload) *engine {
+	return &engine{q: q, prior: pr, g: g, ex: ex, wl: wl, decision: make(map[string]int)}
+}
+
+// phase returns the recording phase for name, creating it on first use.
+func (e *engine) phase(name string) *trace.Phase {
+	if e.wl == nil {
+		return nil
+	}
+	ph := e.wl.Phase(name)
+	if ph == nil {
+		ph = e.wl.AddPhase(name)
+		ph.PerSegmentBarrier = true
+	}
+	return ph
+}
+
+// decide evaluates count candidate gains through the executor, records the
+// work, converts gains to quantized weights, and draws the collective
+// weighted choice. itemCost(i) reports the deterministic cost of evaluating
+// candidate i.
+func (e *engine) decide(phaseName string, count int, eval func(int) float64, itemCost func(int) float64) int {
+	gains := e.ex.gains(count, eval)
+	if ph := e.phase(phaseName); ph != nil {
+		seg := e.decision[phaseName]
+		e.decision[phaseName]++
+		for i := 0; i < count; i++ {
+			ph.Items = append(ph.Items, trace.Item{Cost: itemCost(i), Seg: seg})
+		}
+		ph.Collectives++ // the gains all-gather
+		ph.Words += int64(count)
+	}
+	weights := score.QuantizeWeights(gains)
+	s := e.g.WeightedIndex(weights)
+	if s < 0 {
+		// All gains were −Inf/NaN, which finite statistics cannot
+		// produce; fall back to the last candidate (retain/new).
+		s = count - 1
+	}
+	return s
+}
+
+// reassignVars performs the n variable-reassignment iterations of
+// Algorithm 1 (Reassign-Var-Cluster).
+func (e *engine) reassignVars(cc *cluster.CoClustering) {
+	n := e.q.N
+	for it := 0; it < n; it++ {
+		r := e.g.Intn(n)
+		cc.DetachVar(r)
+		k := len(cc.Clusters)
+		cost := func(i int) float64 {
+			l := 1
+			if i < k {
+				l = len(cc.Clusters[i].Obs.Clusters)
+			}
+			return float64(e.q.M + logMLCost*2*l)
+		}
+		s := e.decide(PhaseVarReassign, k+1,
+			func(i int) float64 { return cc.GainAttachVar(r, i) }, cost)
+		cc.AttachVar(r, s)
+		e.addSerial(PhaseVarReassign, float64(2*e.q.M))
+	}
+}
+
+// mergeVars performs the variable-cluster merge pass of Algorithm 1
+// (Merge-Var-Cluster). Cluster i is merged into the chosen cluster or
+// retained; after a merge the list shrinks and index i is revisited.
+func (e *engine) mergeVars(cc *cluster.CoClustering) {
+	for i := 0; i < len(cc.Clusters); {
+		cols := cc.VarColumnStats(i)
+		e.addSerial(PhaseVarMerge, float64(len(cc.Clusters[i].Vars)*e.q.M))
+		k := len(cc.Clusters)
+		srcL := len(cc.Clusters[i].Obs.Clusters)
+		cost := func(j int) float64 {
+			if j == i {
+				return 1
+			}
+			return float64(e.q.M + logMLCost*(2*len(cc.Clusters[j].Obs.Clusters)+srcL))
+		}
+		s := e.decide(PhaseVarMerge, k,
+			func(j int) float64 { return cc.GainMergeVar(cols, i, j) }, cost)
+		if s != i {
+			cc.MergeVar(i, s)
+			// The list shifted; position i now holds the next cluster.
+		} else {
+			i++
+		}
+	}
+}
+
+// ReassignObs performs the m observation-reassignment iterations of
+// Algorithm 2 (Reassign-Obs-Cluster) on one observation partition. Exported
+// because the module-learning task (Algorithm 4) reuses it with the variable
+// clusters pinned.
+func (e *engine) reassignObs(oc *cluster.ObsClusters) {
+	m := e.q.M
+	nv := len(oc.Vars)
+	for it := 0; it < m; it++ {
+		r := e.g.Intn(m)
+		col := oc.DetachObs(r)
+		l := len(oc.Clusters)
+		s := e.decide(PhaseObsReassign, l+1,
+			func(i int) float64 { return oc.GainAttachObs(col, i) },
+			func(int) float64 { return 2 * logMLCost })
+		oc.AttachObs(r, s)
+		e.addSerial(PhaseObsReassign, float64(2*nv))
+	}
+}
+
+// mergeObs performs the observation-cluster merge pass of Algorithm 2
+// (Merge-Obs-Cluster) on one observation partition.
+func (e *engine) mergeObs(oc *cluster.ObsClusters) {
+	for i := 0; i < len(oc.Clusters); {
+		l := len(oc.Clusters)
+		s := e.decide(PhaseObsMerge, l,
+			func(j int) float64 { return oc.GainMergeObs(i, j) },
+			func(int) float64 { return 3 * logMLCost })
+		if s != i {
+			oc.MergeObs(i, s)
+		} else {
+			i++
+		}
+	}
+}
+
+func (e *engine) addSerial(phaseName string, cost float64) {
+	if ph := e.phase(phaseName); ph != nil {
+		ph.SerialCost += cost
+	}
+}
+
+// run executes Algorithm 3: random initialization followed by U update
+// steps.
+func (e *engine) run(par Params) *cluster.CoClustering {
+	par = par.withDefaults(e.q.N, e.q.M)
+	cc := cluster.NewRandomCoClustering(e.q, e.prior, par.InitVarClusters, par.InitObsClusters, e.g)
+	for u := 0; u < par.Updates; u++ {
+		e.reassignVars(cc)
+		e.mergeVars(cc)
+		for vi := 0; vi < len(cc.Clusters); vi++ {
+			oc := cc.Clusters[vi].Obs
+			e.reassignObs(oc)
+			e.mergeObs(oc)
+		}
+	}
+	return cc
+}
+
+// Run executes one sequential GaneSH run and returns the final
+// co-clustering. If wl is non-nil the parallelizable work is recorded into
+// it for scaling analysis.
+func Run(q *score.QData, pr score.Prior, par Params, g *prng.MRG3, wl *trace.Workload) *cluster.CoClustering {
+	return newEngine(q, pr, g, seqExec{}, wl).run(par)
+}
+
+// RunParallel executes the same algorithm across c's ranks. Every rank must
+// pass a PRNG in the same state; every rank returns an identical
+// co-clustering, bit-equal to the sequential result from the same state.
+func RunParallel(c *comm.Comm, q *score.QData, pr score.Prior, par Params, g *prng.MRG3) *cluster.CoClustering {
+	return newEngine(q, pr, g, parExec{c: c}, nil).run(par)
+}
+
+// ObsParams configures the observation-only sampler used by the
+// module-learning task (Algorithm 4, lines 3–9).
+type ObsParams struct {
+	// InitObsClusters as in Params.
+	InitObsClusters int
+	// Updates is U, the number of update steps; Burnin is B, the number
+	// of initial steps whose states are discarded.
+	Updates, Burnin int
+}
+
+func (p ObsParams) withDefaults(m int) ObsParams {
+	if p.InitObsClusters == 0 {
+		c := 1
+		for c*c < m {
+			c++
+		}
+		p.InitObsClusters = c
+	}
+	if p.Updates == 0 {
+		p.Updates = 1
+	}
+	return p
+}
+
+// SampleObsClusterings runs GaneSH constrained to a single pinned variable
+// cluster (the module's variables) and returns the observation clusterings
+// sampled after burn-in — one snapshot per post-burn-in update step — plus
+// the final partition state. Sequential variant.
+func SampleObsClusterings(q *score.QData, pr score.Prior, vars []int, par ObsParams, g *prng.MRG3, wl *trace.Workload) ([][][]int, *cluster.ObsClusters) {
+	return sampleObs(newEngine(q, pr, g, seqExec{}, wl), vars, par)
+}
+
+// SampleObsClusteringsParallel is the distributed variant of
+// SampleObsClusterings; identical results on every rank.
+func SampleObsClusteringsParallel(c *comm.Comm, q *score.QData, pr score.Prior, vars []int, par ObsParams, g *prng.MRG3) ([][][]int, *cluster.ObsClusters) {
+	return sampleObs(newEngine(q, pr, g, parExec{c: c}, nil), vars, par)
+}
+
+func sampleObs(e *engine, vars []int, par ObsParams) ([][][]int, *cluster.ObsClusters) {
+	par = par.withDefaults(e.q.M)
+	oc := cluster.NewRandomObsClusters(e.q, e.prior, vars, par.InitObsClusters, e.g)
+	var samples [][][]int
+	for u := 1; u <= par.Updates; u++ {
+		e.reassignObs(oc)
+		e.mergeObs(oc)
+		if u > par.Burnin {
+			samples = append(samples, oc.Snapshot())
+		}
+	}
+	return samples, oc
+}
+
+// CoOccurrence accumulates an ensemble of variable-partition snapshots into
+// the n×n co-occurrence frequency matrix of the consensus task (§2.2.2):
+// entry (i,j) is the fraction of sampled clusterings in which variables i
+// and j share a cluster. Entries below threshold are zeroed.
+func CoOccurrence(n int, ensembles [][][]int, threshold float64) []float64 {
+	a := make([]float64, n*n)
+	if len(ensembles) == 0 {
+		return a
+	}
+	inc := 1 / float64(len(ensembles))
+	for _, snap := range ensembles {
+		for _, cl := range snap {
+			for _, i := range cl {
+				for _, j := range cl {
+					a[i*n+j] += inc
+				}
+			}
+		}
+	}
+	for i := range a {
+		if a[i] < threshold {
+			a[i] = 0
+		}
+	}
+	// Clamp accumulated rounding above 1.
+	for i := range a {
+		if a[i] > 1 {
+			a[i] = 1
+		}
+	}
+	return a
+}

@@ -1,0 +1,347 @@
+package ganesh
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"parsimone/internal/cluster"
+	"parsimone/internal/comm"
+	"parsimone/internal/prng"
+	"parsimone/internal/score"
+	"parsimone/internal/synth"
+	"parsimone/internal/trace"
+)
+
+func testData(t testing.TB, n, m int, seed uint64) *score.QData {
+	t.Helper()
+	d, _, err := synth.Generate(synth.Config{N: n, M: m, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Standardize()
+	return score.QuantizeData(d)
+}
+
+func TestRunProducesValidClustering(t *testing.T) {
+	q := testData(t, 30, 20, 1)
+	cc := Run(q, score.DefaultPrior(), Params{Updates: 2}, prng.New(7), nil)
+	if err := cc.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	for _, vc := range cc.Clusters {
+		covered += len(vc.Vars)
+	}
+	if covered != 30 {
+		t.Fatalf("clusters cover %d of 30 variables", covered)
+	}
+}
+
+func TestRunDeterministicAcrossCalls(t *testing.T) {
+	q := testData(t, 25, 15, 2)
+	a := Run(q, score.DefaultPrior(), Params{Updates: 1}, prng.New(3), nil)
+	b := Run(q, score.DefaultPrior(), Params{Updates: 1}, prng.New(3), nil)
+	if !reflect.DeepEqual(a.VarSnapshot(), b.VarSnapshot()) {
+		t.Fatal("identical seeds produced different clusterings")
+	}
+}
+
+func TestRunDifferentSeedsDiffer(t *testing.T) {
+	q := testData(t, 40, 20, 3)
+	a := Run(q, score.DefaultPrior(), Params{Updates: 1}, prng.New(1), nil)
+	b := Run(q, score.DefaultPrior(), Params{Updates: 1}, prng.New(2), nil)
+	if reflect.DeepEqual(a.VarSnapshot(), b.VarSnapshot()) {
+		t.Fatal("different seeds should (almost surely) differ")
+	}
+}
+
+// TestParallelMatchesSequential is the central §4.2 reproduction contract:
+// for every processor count, the parallel run must produce exactly the
+// clustering the sequential run produces.
+func TestParallelMatchesSequential(t *testing.T) {
+	q := testData(t, 24, 16, 4)
+	pr := score.DefaultPrior()
+	par := Params{Updates: 2}
+	want := Run(q, pr, par, prng.New(11), nil).VarSnapshot()
+	for _, p := range []int{1, 2, 3, 4, 7, 8} {
+		snaps := make([][][]int, p)
+		_, err := comm.Run(p, func(c *comm.Comm) error {
+			cc := RunParallel(c, q, pr, par, prng.New(11))
+			snaps[c.Rank()] = cc.VarSnapshot()
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for k := 0; k < p; k++ {
+			if !reflect.DeepEqual(snaps[k], want) {
+				t.Fatalf("p=%d rank %d clustering differs from sequential", p, k)
+			}
+		}
+	}
+}
+
+// TestParallelObsClusteringsMatchSequential checks the same contract for the
+// observation-only sampler used in module learning.
+func TestParallelObsClusteringsMatchSequential(t *testing.T) {
+	q := testData(t, 12, 20, 5)
+	pr := score.DefaultPrior()
+	vars := []int{1, 3, 5, 7, 9}
+	par := ObsParams{Updates: 3, Burnin: 1}
+	wantSamples, wantFinal := SampleObsClusterings(q, pr, vars, par, prng.New(21), nil)
+	for _, p := range []int{1, 2, 5} {
+		_, err := comm.Run(p, func(c *comm.Comm) error {
+			samples, final := SampleObsClusteringsParallel(c, q, pr, vars, par, prng.New(21))
+			if !reflect.DeepEqual(samples, wantSamples) {
+				return fmt.Errorf("rank %d samples differ", c.Rank())
+			}
+			if !reflect.DeepEqual(final.Snapshot(), wantFinal.Snapshot()) {
+				return fmt.Errorf("rank %d final partition differs", c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestGibbsImprovesScore: the sampler should, on structured data, end far
+// above the score of its random initialization.
+func TestGibbsImprovesScore(t *testing.T) {
+	q := testData(t, 40, 30, 6)
+	pr := score.DefaultPrior()
+	// Reconstruct the exact random initialization the run starts from.
+	par := Params{Updates: 3}.withDefaults(q.N, q.M)
+	init := cluster.NewRandomCoClustering(q, pr, par.InitVarClusters, par.InitObsClusters, prng.New(9))
+	final := Run(q, pr, par, prng.New(9), nil)
+	if final.Score() <= init.Score() {
+		t.Fatalf("sampling did not improve the score: init %v, final %v",
+			init.Score(), final.Score())
+	}
+}
+
+// TestGibbsRecoversStructure: with low noise and few strong modules, the
+// sampler must group same-module variables together far better than chance.
+func TestGibbsRecoversStructure(t *testing.T) {
+	d, truth, err := synth.Generate(synth.Config{
+		N: 40, M: 60, Regulators: 4, Modules: 3, Noise: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Standardize()
+	q := score.QuantizeData(d)
+	cc := Run(q, score.DefaultPrior(), Params{Updates: 4}, prng.New(5), nil)
+	// Count pair agreement over member genes (exclude regulators).
+	assign := cc.VarAssignment()
+	var agree, total int
+	for i := 4; i < q.N; i++ {
+		for j := i + 1; j < q.N; j++ {
+			sameTruth := truth.ModuleOf[i] == truth.ModuleOf[j]
+			sameLearned := assign[i] == assign[j]
+			if sameTruth == sameLearned {
+				agree++
+			}
+			total++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.75 {
+		t.Fatalf("pair agreement %.2f below 0.75", frac)
+	}
+}
+
+func TestWorkloadRecorded(t *testing.T) {
+	q := testData(t, 20, 12, 8)
+	wl := &trace.Workload{}
+	Run(q, score.DefaultPrior(), Params{Updates: 1}, prng.New(2), wl)
+	for _, name := range []string{PhaseVarReassign, PhaseVarMerge, PhaseObsReassign, PhaseObsMerge} {
+		ph := wl.Phase(name)
+		if ph == nil {
+			t.Fatalf("phase %s not recorded", name)
+		}
+		if len(ph.Items) == 0 {
+			t.Fatalf("phase %s has no items", name)
+		}
+		if ph.Collectives == 0 {
+			t.Fatalf("phase %s has no collectives", name)
+		}
+		if !ph.PerSegmentBarrier {
+			t.Fatalf("phase %s must be per-segment", name)
+		}
+	}
+	if wl.TotalCost() <= 0 {
+		t.Fatal("no cost recorded")
+	}
+}
+
+func TestWorkloadRecordingDoesNotChangeResult(t *testing.T) {
+	q := testData(t, 20, 12, 9)
+	wl := &trace.Workload{}
+	a := Run(q, score.DefaultPrior(), Params{Updates: 1}, prng.New(4), wl)
+	b := Run(q, score.DefaultPrior(), Params{Updates: 1}, prng.New(4), nil)
+	if !reflect.DeepEqual(a.VarSnapshot(), b.VarSnapshot()) {
+		t.Fatal("recording changed the result")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults(100, 49)
+	if p.InitVarClusters != 50 {
+		t.Fatalf("K0 = %d, want 50", p.InitVarClusters)
+	}
+	if p.InitObsClusters != 7 {
+		t.Fatalf("L0 = %d, want 7", p.InitObsClusters)
+	}
+	if p.Updates != 1 {
+		t.Fatalf("U = %d, want 1", p.Updates)
+	}
+	op := ObsParams{}.withDefaults(100)
+	if op.InitObsClusters != 10 || op.Updates != 1 {
+		t.Fatalf("obs defaults: %+v", op)
+	}
+}
+
+func TestSampleObsClusteringsBurnin(t *testing.T) {
+	q := testData(t, 10, 16, 10)
+	samples, final := SampleObsClusterings(q, score.DefaultPrior(), []int{0, 1, 2},
+		ObsParams{Updates: 5, Burnin: 2}, prng.New(6), nil)
+	if len(samples) != 3 {
+		t.Fatalf("got %d samples, want 3 (5 updates − 2 burn-in)", len(samples))
+	}
+	if err := final.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for si, snap := range samples {
+		covered := 0
+		for _, cl := range snap {
+			covered += len(cl)
+		}
+		if covered != 16 {
+			t.Fatalf("sample %d covers %d of 16 observations", si, covered)
+		}
+	}
+}
+
+func TestCoOccurrenceBasic(t *testing.T) {
+	// Two snapshots over 4 variables: {0,1},{2,3} and {0,1,2},{3}.
+	ens := [][][]int{
+		{{0, 1}, {2, 3}},
+		{{0, 1, 2}, {3}},
+	}
+	a := CoOccurrence(4, ens, 0)
+	if a[0*4+1] != 1 {
+		t.Fatalf("A(0,1) = %v, want 1", a[0*4+1])
+	}
+	if a[1*4+2] != 0.5 {
+		t.Fatalf("A(1,2) = %v, want 0.5", a[1*4+2])
+	}
+	if a[0*4+3] != 0 {
+		t.Fatalf("A(0,3) = %v, want 0", a[0*4+3])
+	}
+	// Symmetry and unit diagonal.
+	for i := 0; i < 4; i++ {
+		if a[i*4+i] != 1 {
+			t.Fatalf("diagonal (%d) = %v", i, a[i*4+i])
+		}
+		for j := 0; j < 4; j++ {
+			if a[i*4+j] != a[j*4+i] {
+				t.Fatal("co-occurrence not symmetric")
+			}
+		}
+	}
+}
+
+func TestCoOccurrenceThreshold(t *testing.T) {
+	ens := [][][]int{
+		{{0, 1}, {2}},
+		{{0}, {1}, {2}},
+	}
+	a := CoOccurrence(3, ens, 0.6)
+	if a[0*3+1] != 0 {
+		t.Fatalf("A(0,1) = %v, want 0 after threshold", a[0*3+1])
+	}
+	if a[0] != 1 {
+		t.Fatal("diagonal lost")
+	}
+}
+
+func TestCoOccurrenceEmptyEnsemble(t *testing.T) {
+	a := CoOccurrence(3, nil, 0)
+	for _, v := range a {
+		if v != 0 {
+			t.Fatal("empty ensemble must give zero matrix")
+		}
+	}
+}
+
+func BenchmarkRunSequential(b *testing.B) {
+	q := testData(b, 60, 40, 1)
+	pr := score.DefaultPrior()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Run(q, pr, Params{Updates: 1}, prng.New(uint64(i)), nil)
+	}
+}
+
+func BenchmarkRunParallelP4(b *testing.B) {
+	q := testData(b, 60, 40, 1)
+	pr := score.DefaultPrior()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		comm.Run(4, func(c *comm.Comm) error {
+			RunParallel(c, q, pr, Params{Updates: 1}, prng.New(uint64(i)))
+			return nil
+		})
+	}
+}
+
+// TestCoOccurrenceProperties: symmetric, unit diagonal for covered
+// variables, all entries within [0,1] — for arbitrary ensembles.
+func TestCoOccurrenceProperties(t *testing.T) {
+	check := func(raw []uint8) bool {
+		const n = 6
+		// Build 1-3 random partitions of 0..n-1 from the raw bytes.
+		var ens [][][]int
+		idx := 0
+		take := func() int {
+			if idx >= len(raw) {
+				return 0
+			}
+			v := int(raw[idx])
+			idx++
+			return v
+		}
+		for s := 0; s < take()%3+1; s++ {
+			clusters := map[int][]int{}
+			for x := 0; x < n; x++ {
+				c := take() % 3
+				clusters[c] = append(clusters[c], x)
+			}
+			var snap [][]int
+			for c := 0; c < 3; c++ {
+				if len(clusters[c]) > 0 {
+					snap = append(snap, clusters[c])
+				}
+			}
+			ens = append(ens, snap)
+		}
+		a := CoOccurrence(n, ens, 0)
+		for i := 0; i < n; i++ {
+			if a[i*n+i] < 0.999 {
+				return false // every variable co-occurs with itself in every sample
+			}
+			for j := 0; j < n; j++ {
+				if a[i*n+j] != a[j*n+i] || a[i*n+j] < 0 || a[i*n+j] > 1 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,214 @@
+package genomica
+
+import (
+	"reflect"
+	"testing"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/prng"
+	"parsimone/internal/result"
+	"parsimone/internal/score"
+	"parsimone/internal/synth"
+)
+
+func testData(t testing.TB, n, m int, seed uint64) (*score.QData, *synth.Truth) {
+	t.Helper()
+	d, truth, err := synth.Generate(synth.Config{
+		N: n, M: m, Regulators: max(2, n/10), Modules: max(2, n/12), Noise: 0.3, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Standardize()
+	return score.QuantizeData(d), truth
+}
+
+func TestLearnBasic(t *testing.T) {
+	q, _ := testData(t, 30, 24, 1)
+	res, err := Learn(q, score.DefaultPrior(), Params{Modules: 3, MaxIters: 5}, prng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Modules) != 3 {
+		t.Fatalf("%d modules", len(res.Modules))
+	}
+	covered := 0
+	for k, mod := range res.Modules {
+		covered += len(mod.Vars)
+		for _, x := range mod.Vars {
+			if res.Assign[x] != k {
+				t.Fatalf("variable %d in module %d but assigned %d", x, k, res.Assign[x])
+			}
+		}
+	}
+	if covered != q.N {
+		t.Fatalf("modules cover %d of %d variables", covered, q.N)
+	}
+	if res.Iters < 1 {
+		t.Fatal("no iterations")
+	}
+}
+
+func TestLearnRequiresModuleCount(t *testing.T) {
+	q, _ := testData(t, 20, 16, 2)
+	if _, err := Learn(q, score.DefaultPrior(), Params{}, prng.New(1)); err == nil {
+		t.Fatal("Modules 0 accepted")
+	}
+}
+
+func TestLearnDeterministic(t *testing.T) {
+	q, _ := testData(t, 24, 20, 3)
+	a, err := Learn(q, score.DefaultPrior(), Params{Modules: 3}, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Learn(q, score.DefaultPrior(), Params{Modules: 3}, prng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Assign, b.Assign) || a.Score != b.Score {
+		t.Fatal("same seed gave different results")
+	}
+}
+
+// TestParallelMatchesSequential: the parallel extension must learn exactly
+// the sequential network (the same §4.2 contract as the Lemon-Tree engines).
+func TestParallelMatchesSequential(t *testing.T) {
+	q, _ := testData(t, 24, 20, 4)
+	pr := score.DefaultPrior()
+	par := Params{Modules: 3, MaxIters: 4}
+	want, err := Learn(q, pr, par, prng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{1, 2, 3, 5} {
+		_, err := comm.Run(p, func(c *comm.Comm) error {
+			got, err := LearnParallel(c, q, pr, par, prng.New(7))
+			if err != nil {
+				return err
+			}
+			if !reflect.DeepEqual(got.Assign, want.Assign) {
+				t.Errorf("p=%d rank %d: assignment differs", p, c.Rank())
+			}
+			if got.Score != want.Score {
+				t.Errorf("p=%d rank %d: score %v != %v", p, c.Rank(), got.Score, want.Score)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+func TestTreesRespectLeafConstraints(t *testing.T) {
+	q, _ := testData(t, 24, 40, 5)
+	par := Params{Modules: 3, MinLeaf: 5, MaxDepth: 3}
+	res, err := Learn(q, score.DefaultPrior(), par, prng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mod := range res.Modules {
+		var walk func(n *TreeNode, depth int)
+		walk = func(n *TreeNode, depth int) {
+			if n == nil {
+				return
+			}
+			if depth > 3 {
+				t.Fatal("tree deeper than MaxDepth")
+			}
+			if n.Parent >= 0 {
+				if len(n.Left.Obs) < 5 || len(n.Right.Obs) < 5 {
+					t.Fatal("leaf below MinLeaf")
+				}
+				if len(n.Left.Obs)+len(n.Right.Obs) != len(n.Obs) {
+					t.Fatal("children do not partition the node")
+				}
+				walk(n.Left, depth+1)
+				walk(n.Right, depth+1)
+			}
+		}
+		walk(mod.Tree, 0)
+	}
+}
+
+// TestEMImprovesScore: the converged network must score at least as well
+// as the first iteration's.
+func TestEMImprovesScore(t *testing.T) {
+	q, _ := testData(t, 36, 30, 6)
+	pr := score.DefaultPrior()
+	one, err := Learn(q, pr, Params{Modules: 3, MaxIters: 1}, prng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Learn(q, pr, Params{Modules: 3, MaxIters: 8}, prng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Score < one.Score {
+		t.Fatalf("more EM iterations worsened the score: %v -> %v", one.Score, full.Score)
+	}
+}
+
+// TestRecoversStructure: on clean synthetic data, GENOMICA should group
+// same-module variables well above chance.
+func TestRecoversStructure(t *testing.T) {
+	d, truth, err := synth.Generate(synth.Config{
+		N: 40, M: 60, Regulators: 4, Modules: 3, Noise: 0.2, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Standardize()
+	q := score.QuantizeData(d)
+	res, err := Learn(q, score.DefaultPrior(), Params{Modules: 3, MaxIters: 8}, prng.New(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ari := result.AdjustedRandIndex(truth.ModuleOf, res.Assign)
+	if ari < 0.2 {
+		t.Fatalf("ARI %.3f below 0.2", ari)
+	}
+}
+
+func TestTreeParents(t *testing.T) {
+	tree := &TreeNode{
+		Parent: 3,
+		Left:   &TreeNode{Parent: -1},
+		Right: &TreeNode{
+			Parent: 3, // repeated parent must be deduplicated
+			Left:   &TreeNode{Parent: -1},
+			Right:  &TreeNode{Parent: 5, Left: &TreeNode{Parent: -1}, Right: &TreeNode{Parent: -1}},
+		},
+	}
+	got := treeParents(tree)
+	if !reflect.DeepEqual(got, []int{3, 5}) {
+		t.Fatalf("parents = %v", got)
+	}
+}
+
+func TestLeaves(t *testing.T) {
+	leaf := &TreeNode{Parent: -1, Obs: []int{1}}
+	if got := leaf.Leaves(); len(got) != 1 || got[0] != leaf {
+		t.Fatal("single leaf")
+	}
+	tree := &TreeNode{
+		Parent: 0,
+		Left:   &TreeNode{Parent: -1, Obs: []int{1}},
+		Right:  &TreeNode{Parent: -1, Obs: []int{2}},
+	}
+	if got := tree.Leaves(); len(got) != 2 {
+		t.Fatalf("%d leaves", len(got))
+	}
+}
+
+func BenchmarkLearn(b *testing.B) {
+	q, _ := testData(b, 40, 30, 1)
+	pr := score.DefaultPrior()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Learn(q, pr, Params{Modules: 3, MaxIters: 3}, prng.New(uint64(i))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,142 @@
+// Package matrix provides the small dense linear-algebra kernel the
+// consensus-clustering task needs: symmetric matrices and deterministic
+// power iteration for the dominant eigenpair (Michoel & Nachtergaele 2012
+// use the Perron eigenvector of the non-negative co-occurrence matrix to
+// peel off consensus clusters).
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Sym is a dense symmetric n×n matrix in row-major full storage.
+type Sym struct {
+	N int
+	A []float64
+}
+
+// NewSym returns a zero n×n symmetric matrix.
+func NewSym(n int) *Sym {
+	return &Sym{N: n, A: make([]float64, n*n)}
+}
+
+// FromDense wraps an existing row-major n×n buffer. It returns an error if
+// the buffer has the wrong size or is not symmetric.
+func FromDense(n int, a []float64) (*Sym, error) {
+	if len(a) != n*n {
+		return nil, fmt.Errorf("matrix: %d values for %d×%d", len(a), n, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if a[i*n+j] != a[j*n+i] {
+				return nil, fmt.Errorf("matrix: not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+	return &Sym{N: n, A: a}, nil
+}
+
+// At returns element (i, j).
+func (s *Sym) At(i, j int) float64 { return s.A[i*s.N+j] }
+
+// Set assigns element (i, j) and its mirror (j, i).
+func (s *Sym) Set(i, j int, v float64) {
+	s.A[i*s.N+j] = v
+	s.A[j*s.N+i] = v
+}
+
+// MulVec computes y = S·x. x and y must have length N and must not alias.
+func (s *Sym) MulVec(x, y []float64) {
+	for i := 0; i < s.N; i++ {
+		row := s.A[i*s.N : (i+1)*s.N]
+		var sum float64
+		for j, v := range row {
+			sum += v * x[j]
+		}
+		y[i] = sum
+	}
+}
+
+// Submatrix returns the symmetric matrix restricted to the given index set
+// (in the given order).
+func (s *Sym) Submatrix(idx []int) *Sym {
+	sub := NewSym(len(idx))
+	for a, i := range idx {
+		for b, j := range idx {
+			sub.A[a*sub.N+b] = s.At(i, j)
+		}
+	}
+	return sub
+}
+
+// Norm2 returns the Euclidean norm of x.
+func Norm2(x []float64) float64 {
+	var ss float64
+	for _, v := range x {
+		ss += v * v
+	}
+	return math.Sqrt(ss)
+}
+
+// PowerResult is the outcome of a power iteration.
+type PowerResult struct {
+	// Value is the dominant eigenvalue estimate (Rayleigh quotient) and
+	// Vector the corresponding unit eigenvector.
+	Value  float64
+	Vector []float64
+	// Iters is the number of iterations performed; Converged reports
+	// whether the tolerance was met before the iteration cap.
+	Iters     int
+	Converged bool
+}
+
+// PowerIteration estimates the dominant eigenpair of s, starting from the
+// deterministic uniform vector. For the non-negative matrices produced by
+// co-occurrence accumulation the dominant eigenvalue is the Perron root and
+// the eigenvector is entrywise non-negative. A zero matrix returns Value 0
+// with the start vector.
+func PowerIteration(s *Sym, maxIter int, tol float64) PowerResult {
+	n := s.N
+	if n == 0 {
+		return PowerResult{Converged: true}
+	}
+	if maxIter <= 0 {
+		maxIter = 1000
+	}
+	if tol <= 0 {
+		tol = 1e-10
+	}
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = 1 / math.Sqrt(float64(n))
+	}
+	var lambda float64
+	for it := 1; it <= maxIter; it++ {
+		s.MulVec(x, y)
+		norm := Norm2(y)
+		if norm == 0 {
+			// x is in the null space; for non-negative matrices this
+			// means the matrix is zero on the support of x.
+			return PowerResult{Value: 0, Vector: x, Iters: it, Converged: true}
+		}
+		for i := range y {
+			y[i] /= norm
+		}
+		// Rayleigh quotient λ = xᵀSx with the normalized iterate.
+		s.MulVec(y, x) // reuse x as scratch for S·y
+		var rq float64
+		for i := range y {
+			rq += y[i] * x[i]
+		}
+		// Convergence on the eigenvalue estimate.
+		done := math.Abs(rq-lambda) <= tol*(1+math.Abs(rq))
+		lambda = rq
+		copy(x, y)
+		if done {
+			return PowerResult{Value: lambda, Vector: x, Iters: it, Converged: true}
+		}
+	}
+	return PowerResult{Value: lambda, Vector: x, Iters: maxIter, Converged: false}
+}

@@ -1,0 +1,187 @@
+package matrix
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSymSetAt(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 2, 5)
+	if s.At(0, 2) != 5 || s.At(2, 0) != 5 {
+		t.Fatal("Set must mirror")
+	}
+}
+
+func TestFromDenseValidates(t *testing.T) {
+	if _, err := FromDense(2, []float64{1, 2, 3}); err == nil {
+		t.Fatal("wrong size accepted")
+	}
+	if _, err := FromDense(2, []float64{1, 2, 3, 4}); err == nil {
+		t.Fatal("asymmetric accepted")
+	}
+	if _, err := FromDense(2, []float64{1, 2, 2, 4}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	s := NewSym(2)
+	s.Set(0, 0, 2)
+	s.Set(0, 1, 1)
+	s.Set(1, 1, 3)
+	y := make([]float64, 2)
+	s.MulVec([]float64{1, 2}, y)
+	if y[0] != 4 || y[1] != 7 {
+		t.Fatalf("got %v, want [4 7]", y)
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	s := NewSym(3)
+	for i := 0; i < 3; i++ {
+		for j := i; j < 3; j++ {
+			s.Set(i, j, float64(10*i+j))
+		}
+	}
+	sub := s.Submatrix([]int{0, 2})
+	if sub.N != 2 || sub.At(0, 1) != s.At(0, 2) || sub.At(1, 1) != s.At(2, 2) {
+		t.Fatalf("submatrix wrong: %+v", sub)
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if Norm2([]float64{3, 4}) != 5 {
+		t.Fatal("3-4-5")
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("empty")
+	}
+}
+
+func TestPowerIterationDiagonal(t *testing.T) {
+	s := NewSym(3)
+	s.Set(0, 0, 1)
+	s.Set(1, 1, 5)
+	s.Set(2, 2, 2)
+	res := PowerIteration(s, 1000, 1e-12)
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if math.Abs(res.Value-5) > 1e-6 {
+		t.Fatalf("eigenvalue %v, want 5", res.Value)
+	}
+	if math.Abs(math.Abs(res.Vector[1])-1) > 1e-4 {
+		t.Fatalf("eigenvector %v, want e1", res.Vector)
+	}
+}
+
+func TestPowerIterationBlockStructure(t *testing.T) {
+	// Two blocks: a dense 3-clique (weight 1) and a 2-clique; the Perron
+	// vector must concentrate on the 3-clique.
+	s := NewSym(5)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			s.Set(i, j, 1)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		for j := 3; j < 5; j++ {
+			s.Set(i, j, 1)
+		}
+	}
+	res := PowerIteration(s, 1000, 1e-12)
+	if math.Abs(res.Value-3) > 1e-6 {
+		t.Fatalf("eigenvalue %v, want 3", res.Value)
+	}
+	for i := 0; i < 3; i++ {
+		if res.Vector[i] < 0.5 {
+			t.Fatalf("clique member %d weight %v too small", i, res.Vector[i])
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if math.Abs(res.Vector[i]) > 1e-4 {
+			t.Fatalf("non-member %d weight %v too large", i, res.Vector[i])
+		}
+	}
+}
+
+func TestPowerIterationZeroMatrix(t *testing.T) {
+	s := NewSym(4)
+	res := PowerIteration(s, 100, 1e-10)
+	if !res.Converged || res.Value != 0 {
+		t.Fatalf("zero matrix: %+v", res)
+	}
+}
+
+func TestPowerIterationEmpty(t *testing.T) {
+	res := PowerIteration(NewSym(0), 10, 1e-10)
+	if !res.Converged {
+		t.Fatal("empty matrix must converge trivially")
+	}
+}
+
+func TestPowerIterationDeterministic(t *testing.T) {
+	s := NewSym(6)
+	for i := 0; i < 6; i++ {
+		for j := i; j < 6; j++ {
+			s.Set(i, j, float64((i*7+j*3)%5))
+		}
+	}
+	a := PowerIteration(s, 500, 1e-12)
+	b := PowerIteration(s, 500, 1e-12)
+	if a.Value != b.Value || a.Iters != b.Iters {
+		t.Fatal("power iteration not deterministic")
+	}
+	for i := range a.Vector {
+		if a.Vector[i] != b.Vector[i] {
+			t.Fatal("eigenvector not deterministic")
+		}
+	}
+}
+
+// TestPowerIterationRayleighBound: for symmetric non-negative matrices the
+// returned value must satisfy the eigen-equation approximately.
+func TestPowerIterationResidual(t *testing.T) {
+	check := func(raw []uint8) bool {
+		n := 4
+		if len(raw) < n*n {
+			return true
+		}
+		s := NewSym(n)
+		for i := 0; i < n; i++ {
+			for j := i; j < n; j++ {
+				s.Set(i, j, float64(raw[i*n+j]%8))
+			}
+		}
+		res := PowerIteration(s, 5000, 1e-12)
+		if !res.Converged {
+			return true // ties may not converge; not a correctness failure
+		}
+		// ‖Sv − λv‖ should be small relative to λ.
+		y := make([]float64, n)
+		s.MulVec(res.Vector, y)
+		var resid float64
+		for i := range y {
+			d := y[i] - res.Value*res.Vector[i]
+			resid += d * d
+		}
+		return math.Sqrt(resid) <= 1e-4*(1+res.Value)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPowerIteration64(b *testing.B) {
+	s := NewSym(64)
+	for i := 0; i < 64; i++ {
+		for j := i; j < 64; j++ {
+			s.Set(i, j, float64((i+j)%3))
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		PowerIteration(s, 200, 1e-10)
+	}
+}

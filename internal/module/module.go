@@ -1,0 +1,159 @@
+// Package module implements the third Lemon-Tree task (§2.2.3, Algorithm 6
+// of the paper): for every consensus module, sample observation clusterings
+// with GaneSH (variables pinned), build an ensemble of regression trees by
+// Bayesian hierarchical merging, assign parent splits to all internal tree
+// nodes, and aggregate the chosen splits into parent (regulator) scores.
+//
+// The parent score of variable X for a module is the average of the
+// posteriors of the chosen splits on X, weighted by the number of
+// observations at the node each split was assigned to (§2.2.3 step 3). Both
+// the posterior-weighted and the uniformly sampled split sets are scored;
+// downstream analyses compare the two to assess regulator significance.
+package module
+
+import (
+	"sort"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/ganesh"
+	"parsimone/internal/prng"
+	"parsimone/internal/score"
+	"parsimone/internal/splits"
+	"parsimone/internal/trace"
+	"parsimone/internal/tree"
+)
+
+// Params configures module learning.
+type Params struct {
+	// Tree controls the per-module observation-clustering sampler:
+	// Updates−Burnin regression trees are built per module.
+	Tree ganesh.ObsParams
+	// Splits controls candidate-parent split assignment.
+	Splits splits.Params
+}
+
+// ParentScore is one scored regulator of a module.
+type ParentScore struct {
+	// Parent is the variable index; Score its weighted-average posterior;
+	// Count the number of chosen splits it appeared in.
+	Parent int
+	Score  float64
+	Count  int
+}
+
+// Module is the learned result for one consensus module.
+type Module struct {
+	// Vars are the module's member variables.
+	Vars []int
+	// Trees is the learned regression-tree ensemble.
+	Trees []*tree.Tree
+	// ParentsWeighted scores parents from the posterior-weighted split
+	// sample; ParentsUniform from the uniform split sample. Both sorted
+	// by descending score (parent index ascending on ties).
+	ParentsWeighted []ParentScore
+	ParentsUniform  []ParentScore
+}
+
+// Result is the outcome of the module-learning task.
+type Result struct {
+	Modules []*Module
+	// Splits is the raw split assignment the parent scores derive from.
+	Splits splits.Result
+}
+
+// learn drives Algorithm 6 against either the sequential or parallel
+// primitives.
+type primitives struct {
+	sampleObs func(vars []int, par ganesh.ObsParams, g *prng.MRG3) [][][]int
+	buildTree func(vars []int, clusters [][]int) *tree.Tree
+	assign    func(modules [][]int, trees [][]*tree.Tree, par splits.Params, g *prng.MRG3) splits.Result
+}
+
+func learn(moduleVars [][]int, par Params, g *prng.MRG3, prim primitives) *Result {
+	res := &Result{}
+	trees := make([][]*tree.Tree, len(moduleVars))
+	for mi, vars := range moduleVars {
+		mod := &Module{Vars: append([]int(nil), vars...)}
+		samples := prim.sampleObs(vars, par.Tree, g)
+		for _, clusters := range samples {
+			mod.Trees = append(mod.Trees, prim.buildTree(vars, clusters))
+		}
+		trees[mi] = mod.Trees
+		res.Modules = append(res.Modules, mod)
+	}
+	res.Splits = prim.assign(moduleVars, trees, par.Splits, g)
+	for mi, mod := range res.Modules {
+		mod.ParentsWeighted = scoreParents(res.Splits.Weighted, mi)
+		mod.ParentsUniform = scoreParents(res.Splits.Uniform, mi)
+	}
+	return res
+}
+
+// Learn runs the task sequentially. If wl is non-nil, parallelizable work is
+// recorded for scaling analysis.
+func Learn(q *score.QData, pr score.Prior, moduleVars [][]int, par Params, g *prng.MRG3, wl *trace.Workload) *Result {
+	return learn(moduleVars, par, g, primitives{
+		sampleObs: func(vars []int, op ganesh.ObsParams, g *prng.MRG3) [][][]int {
+			samples, _ := ganesh.SampleObsClusterings(q, pr, vars, op, g, wl)
+			return samples
+		},
+		buildTree: func(vars []int, clusters [][]int) *tree.Tree {
+			return tree.Build(q, pr, vars, clusters, wl)
+		},
+		assign: func(modules [][]int, trees [][]*tree.Tree, sp splits.Params, g *prng.MRG3) splits.Result {
+			return splits.Learn(q, pr, modules, trees, sp, g, wl)
+		},
+	})
+}
+
+// LearnParallel runs the task across c's ranks; results are identical to
+// Learn on every rank for every rank count.
+func LearnParallel(c *comm.Comm, q *score.QData, pr score.Prior, moduleVars [][]int, par Params, g *prng.MRG3) *Result {
+	return learn(moduleVars, par, g, primitives{
+		sampleObs: func(vars []int, op ganesh.ObsParams, g *prng.MRG3) [][][]int {
+			samples, _ := ganesh.SampleObsClusteringsParallel(c, q, pr, vars, op, g)
+			return samples
+		},
+		buildTree: func(vars []int, clusters [][]int) *tree.Tree {
+			return tree.BuildParallel(c, q, pr, vars, clusters)
+		},
+		assign: func(modules [][]int, trees [][]*tree.Tree, sp splits.Params, g *prng.MRG3) splits.Result {
+			return splits.LearnParallel(c, q, pr, modules, trees, sp, g)
+		},
+	})
+}
+
+// scoreParents aggregates the chosen splits of one module into parent
+// scores: Score(X) = Σ posterior·|N| / Σ |N| over splits on X.
+func scoreParents(assigned []splits.Assigned, module int) []ParentScore {
+	type acc struct {
+		num, den float64
+		count    int
+	}
+	byParent := map[int]*acc{}
+	for _, a := range assigned {
+		if a.Module != module {
+			continue
+		}
+		s := byParent[a.Parent]
+		if s == nil {
+			s = &acc{}
+			byParent[a.Parent] = s
+		}
+		w := float64(a.NodeObs)
+		s.num += a.Posterior * w
+		s.den += w
+		s.count++
+	}
+	out := make([]ParentScore, 0, len(byParent))
+	for parent, s := range byParent {
+		out = append(out, ParentScore{Parent: parent, Score: s.num / s.den, Count: s.count})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Parent < out[j].Parent
+	})
+	return out
+}

@@ -1,0 +1,301 @@
+package score
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"parsimone/internal/dataset"
+)
+
+func TestQuantizeRoundTrip(t *testing.T) {
+	for _, x := range []float64{0, 1, -1, 0.5, 3.14159, -7.9} {
+		q := Quantize(x)
+		if math.Abs(Dequantize(q)-x) > 1.0/ValueScale {
+			t.Fatalf("quantize(%v) = %v, error too large", x, Dequantize(q))
+		}
+	}
+}
+
+func TestQuantizeClips(t *testing.T) {
+	if Quantize(100) != int64(MaxAbsValue*ValueScale) {
+		t.Fatal("positive clip failed")
+	}
+	if Quantize(-100) != -int64(MaxAbsValue*ValueScale) {
+		t.Fatal("negative clip failed")
+	}
+}
+
+func TestQuantizeMonotone(t *testing.T) {
+	check := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Quantize(a) <= Quantize(b)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeData(t *testing.T) {
+	d := dataset.New(2, 3)
+	d.Set(1, 2, 1.5)
+	q := QuantizeData(d)
+	if q.N != 2 || q.M != 3 {
+		t.Fatalf("shape %dx%d", q.N, q.M)
+	}
+	if q.At(1, 2) != 3<<(FracBits-1) {
+		t.Fatalf("At(1,2) = %d", q.At(1, 2))
+	}
+	if len(q.Row(1)) != 3 || q.Row(1)[2] != q.At(1, 2) {
+		t.Fatal("Row broken")
+	}
+}
+
+func TestStatsAddRemoveExact(t *testing.T) {
+	// Incremental add/remove must equal from-scratch statistics exactly.
+	vals := []int64{Quantize(1.1), Quantize(-2.2), Quantize(0.3), Quantize(5)}
+	var s Stats
+	for _, v := range vals {
+		s.Add(v)
+	}
+	s.Add(Quantize(7))
+	s.Remove(Quantize(7))
+	want := StatsOf(vals)
+	if s != want {
+		t.Fatalf("incremental %+v != recomputed %+v", s, want)
+	}
+}
+
+func TestStatsMergeUnmergeExact(t *testing.T) {
+	a := StatsOf([]int64{1, 2, 3})
+	b := StatsOf([]int64{10, 20})
+	merged := a
+	merged.Merge(b)
+	if merged != StatsOf([]int64{1, 2, 3, 10, 20}) {
+		t.Fatalf("merge wrong: %+v", merged)
+	}
+	merged.Unmerge(b)
+	if merged != a {
+		t.Fatalf("unmerge did not invert merge: %+v", merged)
+	}
+	if a.Plus(b) != StatsOf([]int64{1, 2, 3, 10, 20}) {
+		t.Fatal("Plus wrong")
+	}
+}
+
+func TestStatsIncrementalEqualsRecomputedProperty(t *testing.T) {
+	check := func(raw []int16, removeIdx []uint8) bool {
+		var inc Stats
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r)
+			inc.Add(vals[i])
+		}
+		// Remove a subset (each index at most once).
+		removed := map[int]bool{}
+		var remaining []int64
+		for _, ri := range removeIdx {
+			if len(vals) == 0 {
+				break
+			}
+			i := int(ri) % len(vals)
+			if !removed[i] {
+				removed[i] = true
+				inc.Remove(vals[i])
+			}
+		}
+		for i, v := range vals {
+			if !removed[i] {
+				remaining = append(remaining, v)
+			}
+		}
+		return inc == StatsOf(remaining)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDefaultPriorValid(t *testing.T) {
+	if err := DefaultPrior().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPriorValidation(t *testing.T) {
+	bad := []Prior{
+		{Lambda0: 0, Alpha0: 1, Beta0: 1},
+		{Lambda0: 1, Alpha0: -1, Beta0: 1},
+		{Lambda0: 1, Alpha0: 1, Beta0: 0},
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("%+v accepted", p)
+		}
+	}
+}
+
+func TestLogMLEmptyIsZero(t *testing.T) {
+	if got := DefaultPrior().LogML(Stats{}); got != 0 {
+		t.Fatalf("empty block scored %v", got)
+	}
+}
+
+func TestLogMLFinite(t *testing.T) {
+	pr := DefaultPrior()
+	check := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		vals := make([]int64, len(raw))
+		for i, r := range raw {
+			vals[i] = int64(r)
+		}
+		ml := pr.LogML(StatsOf(vals))
+		return !math.IsNaN(ml) && !math.IsInf(ml, 0)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLogMLPrefersTightClusters: a block of near-identical values must score
+// higher than the same number of widely spread values — the property that
+// makes the Gibbs sampler group co-expressed genes.
+func TestLogMLPrefersTightClusters(t *testing.T) {
+	pr := DefaultPrior()
+	tight := Stats{}
+	spread := Stats{}
+	for i := 0; i < 20; i++ {
+		tight.Add(Quantize(1.0 + 0.01*float64(i%3)))
+		spread.Add(Quantize(float64(i%7) - 3))
+	}
+	if pr.LogML(tight) <= pr.LogML(spread) {
+		t.Fatalf("tight %v not preferred over spread %v",
+			pr.LogML(tight), pr.LogML(spread))
+	}
+}
+
+// TestLogMLSplitCoherentGroups: splitting a bimodal block into its two modes
+// must increase the total score; splitting a homogeneous block must not
+// increase it materially. This is the signal behind both observation
+// clustering and split assignment.
+func TestLogMLSplitCoherentGroups(t *testing.T) {
+	pr := DefaultPrior()
+	var all, lo, hi Stats
+	for i := 0; i < 30; i++ {
+		a := Quantize(-2 + 0.05*float64(i%5))
+		b := Quantize(2 + 0.05*float64(i%5))
+		all.Add(a)
+		all.Add(b)
+		lo.Add(a)
+		hi.Add(b)
+	}
+	if pr.LogML(lo)+pr.LogML(hi) <= pr.LogML(all) {
+		t.Fatal("splitting a bimodal block did not improve the score")
+	}
+
+	var uni, uniA, uniB Stats
+	for i := 0; i < 60; i++ {
+		q := Quantize(1 + 0.02*float64(i%5))
+		uni.Add(q)
+		if i%2 == 0 {
+			uniA.Add(q)
+		} else {
+			uniB.Add(q)
+		}
+	}
+	if pr.LogML(uniA)+pr.LogML(uniB) > pr.LogML(uni)+1 {
+		t.Fatal("splitting a homogeneous block improved the score materially")
+	}
+}
+
+// TestLogMLScaleInvariantShape: adding more consistent evidence increases
+// the per-point fit advantage of the correct grouping.
+func TestLogMLMoreEvidenceStrongerPreference(t *testing.T) {
+	pr := DefaultPrior()
+	advantage := func(n int) float64 {
+		var all, lo, hi Stats
+		for i := 0; i < n; i++ {
+			a, b := Quantize(-2), Quantize(2)
+			all.Add(a)
+			all.Add(b)
+			lo.Add(a)
+			hi.Add(b)
+		}
+		return pr.LogML(lo) + pr.LogML(hi) - pr.LogML(all)
+	}
+	if advantage(50) <= advantage(5) {
+		t.Fatal("advantage of correct split did not grow with evidence")
+	}
+}
+
+func TestQuantizeWeightsBasic(t *testing.T) {
+	ws := QuantizeWeights([]float64{0, math.Log(0.5)})
+	if ws[0] != 1<<WeightBits {
+		t.Fatalf("max weight = %d, want 2^%d", ws[0], WeightBits)
+	}
+	if ws[1] != 1<<(WeightBits-1) {
+		t.Fatalf("half weight = %d", ws[1])
+	}
+}
+
+func TestQuantizeWeightsMaxAlwaysPositive(t *testing.T) {
+	check := func(scores []float64) bool {
+		clean := false
+		for _, s := range scores {
+			if !math.IsNaN(s) && !math.IsInf(s, 0) {
+				clean = true
+			}
+		}
+		ws := QuantizeWeights(scores)
+		if !clean {
+			return true
+		}
+		var total uint64
+		for _, w := range ws {
+			total += w
+		}
+		return total > 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuantizeWeightsHandlesDegenerate(t *testing.T) {
+	ws := QuantizeWeights([]float64{math.Inf(-1), math.NaN()})
+	if ws[0] != 0 || ws[1] != 0 {
+		t.Fatalf("degenerate scores got weights %v", ws)
+	}
+	if ws := QuantizeWeights(nil); len(ws) != 0 {
+		t.Fatal("nil input")
+	}
+}
+
+func TestQuantizeWeightsRelativeOrder(t *testing.T) {
+	ws := QuantizeWeights([]float64{-1, -3, -2})
+	if !(ws[0] > ws[2] && ws[2] > ws[1]) {
+		t.Fatalf("weight order broken: %v", ws)
+	}
+}
+
+func BenchmarkLogML(b *testing.B) {
+	pr := DefaultPrior()
+	s := StatsOf([]int64{100, 200, 300, -100, 50, 70, 90, 1000})
+	for i := 0; i < b.N; i++ {
+		pr.LogML(s)
+	}
+}
+
+func BenchmarkStatsAdd(b *testing.B) {
+	var s Stats
+	for i := 0; i < b.N; i++ {
+		s.Add(int64(i))
+	}
+}

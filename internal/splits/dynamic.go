@@ -1,0 +1,109 @@
+// Dynamic split distribution — the paper's stated future work (§6:
+// "implementing a dynamic load balancing scheme for computing the posterior
+// probabilities for all the candidate parent splits"). Rank 0 acts as the
+// coordinator, dealing fixed-size chunks of the global candidate list to
+// workers on demand, so slow (high-step-count) splits no longer pin an
+// entire static block to one rank.
+//
+// Because every split's bootstrap draws come from the substream numbered by
+// its global index, the computed posteriors — and therefore the learned
+// network — are identical to the static schemes' output; only the
+// assignment of work to ranks changes.
+
+package splits
+
+import (
+	"sort"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/prng"
+	"parsimone/internal/score"
+	"parsimone/internal/tree"
+)
+
+// chunkMsg is the coordinator's reply to a work request: the half-open
+// candidate range [Lo, Hi); Lo == -1 signals that the list is exhausted.
+type chunkMsg struct{ Lo, Hi int }
+
+// valMsg carries one computed posterior back to the gather phase.
+type valMsg struct {
+	Index int
+	P     float64
+}
+
+// DefaultDynamicChunk is the chunk size of the dynamic scheme.
+const DefaultDynamicChunk = 64
+
+// LearnParallelDynamic is the dynamic-scheme counterpart of LearnParallel:
+// ranks 1…p−1 request fixed-size chunks of the candidate list from the
+// rank-0 coordinator until it is exhausted, so expensive splits no longer
+// pin a whole static block to one rank. It shares enumerate, posterior, and
+// the selection logic with the static path and returns the identical
+// result. With p == 1 it falls back to the sequential path; chunk ≤ 0 uses
+// DefaultDynamicChunk.
+func LearnParallelDynamic(c *comm.Comm, q *score.QData, pr score.Prior, modules [][]int,
+	trees [][]*tree.Tree, par Params, g *prng.MRG3, chunk int) Result {
+	if chunk <= 0 {
+		chunk = DefaultDynamicChunk
+	}
+	if c.Size() == 1 {
+		return Learn(q, pr, modules, trees, par, g, nil)
+	}
+	par = par.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	total := 0
+	for _, ref := range nodes {
+		total += ref.count
+	}
+	base := g.Clone()
+
+	computeRange := func(lo, hi int, out []valMsg) []valMsg {
+		ni := sort.Search(len(nodes), func(i int) bool {
+			return nodes[i].offset+nodes[i].count > lo
+		})
+		for ci := lo; ci < hi; ci++ {
+			for nodes[ni].offset+nodes[ni].count <= ci {
+				ni++
+			}
+			p, _ := posterior(q, pr, nodes[ni], par.Candidates, ci, base.Substream(uint64(ci)), par)
+			out = append(out, valMsg{Index: ci, P: p})
+		}
+		return out
+	}
+
+	var local []valMsg
+	if c.Rank() == 0 {
+		// Coordinator: deal chunks on request; each worker is released
+		// with an exhausted marker once the list is done.
+		next := 0
+		active := c.Size() - 1
+		for active > 0 {
+			_, worker := comm.RecvAny[int](c)
+			if next < total {
+				hi := min(next+chunk, total)
+				comm.Send(c, worker, chunkMsg{Lo: next, Hi: hi})
+				next = hi
+			} else {
+				comm.Send(c, worker, chunkMsg{Lo: -1})
+				active--
+			}
+		}
+	} else {
+		for {
+			comm.Send(c, 0, c.Rank())
+			ch := comm.Recv[chunkMsg](c, 0)
+			if ch.Lo < 0 {
+				break
+			}
+			local = computeRange(ch.Lo, ch.Hi, local)
+		}
+	}
+
+	// Gather all posteriors everywhere and restore canonical order.
+	all := comm.AllGatherv(c, local)
+	posteriors := make([]float64, total)
+	for _, v := range all {
+		posteriors[v.Index] = v.P
+	}
+	return selectSplits(q, nodes, posteriors, par, g)
+}

@@ -1,0 +1,318 @@
+// Package splits implements the parent-split assignment phase of the
+// module-learning task (§2.2.3 step 2, Algorithm 5 of the paper) — the phase
+// that accounts for more than 90 % of the sequential run time and whose
+// variable per-split cost causes the load imbalance analyzed in §5.3.1.
+//
+// Every combination ⟨module Mᵢ, tree T, internal node N, candidate parent
+// Xᵢ, observation Dⱼ at N⟩ is a candidate split. Its posterior — the
+// probability that splitting N's observations on Xᵢ ≤ Dᵢⱼ improves the
+// Bayesian score — is estimated by bootstrap resampling with early
+// termination: at least MinSteps and at most MaxSteps resamples of the
+// node's observations, each costing O(|N|) work, stopping once the estimate
+// is confidently resolved. Clear splits resolve in MinSteps; ambiguous ones
+// run to MaxSteps, which reproduces the paper's observation that "the time
+// required for this phase cannot be estimated a priori and varies
+// significantly across splits".
+//
+// The candidate list is flattened globally and block-partitioned over ranks
+// (the paper's fine-grained distribution; Algorithm 5 line 5). Each split's
+// bootstrap draws come from a numbered PRNG substream indexed by the
+// split's *global* position, so posteriors are identical for every rank
+// count and for the sequential run (§4.2's block-split PRNG discipline).
+package splits
+
+import (
+	"math"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/prng"
+	"parsimone/internal/score"
+	"parsimone/internal/trace"
+	"parsimone/internal/tree"
+)
+
+// Params configures split assignment.
+type Params struct {
+	// NumSplits is J: how many weighted and how many uniform splits are
+	// chosen per node. Default 2.
+	NumSplits int
+	// MaxSteps is S, the bootstrap resampling cap per split; MinSteps the
+	// floor before early termination is allowed. Defaults 64 and 8.
+	MaxSteps, MinSteps int
+	// CIHalfWidth is the normal-approximation confidence half-width below
+	// which sampling stops early. Default 0.08.
+	CIHalfWidth float64
+	// Candidates is the candidate-parent list P; nil means every
+	// variable (the paper's genome-scale setting).
+	Candidates []int
+	// DynamicChunk, when positive, makes LearnParallel use the dynamic
+	// coordinator/worker distribution (the paper's §6 future work) with
+	// this chunk size instead of the static block partition. The learned
+	// result is identical either way.
+	DynamicChunk int
+	// ScanSelection makes LearnParallel use the paper's segmented-scan
+	// selection (§3.2.3) instead of gathering the full posterior vector:
+	// less communication, identical result. Ignored when DynamicChunk is
+	// set.
+	ScanSelection bool
+}
+
+func (p Params) withDefaults(n int) Params {
+	if p.NumSplits == 0 {
+		p.NumSplits = 2
+	}
+	if p.MaxSteps == 0 {
+		p.MaxSteps = 64
+	}
+	if p.MinSteps == 0 {
+		p.MinSteps = 8
+	}
+	if p.CIHalfWidth == 0 {
+		p.CIHalfWidth = 0.08
+	}
+	if p.Candidates == nil {
+		p.Candidates = make([]int, n)
+		for i := range p.Candidates {
+			p.Candidates[i] = i
+		}
+	}
+	return p
+}
+
+// Assigned is one split assigned to a tree node.
+type Assigned struct {
+	// Module, Tree and Node locate the internal node (tree and node in
+	// canonical enumeration order; node indexes the pre-order internal
+	// list of its tree).
+	Module, Tree, Node int
+	// Parent is the split variable; Value the quantized split threshold
+	// (x ≤ Value goes left).
+	Parent int
+	Value  int64
+	// Posterior is the bootstrap posterior of the split improving the
+	// score; NodeObs the number of observations at the node (the weight
+	// used for parent scoring).
+	Posterior float64
+	NodeObs   int
+}
+
+// Result holds the splits chosen per node: Weighted by posterior-weighted
+// random sampling, Uniform by uniform random sampling over the retained
+// candidates (§2.2.3 step 2(ii)).
+type Result struct {
+	Weighted []Assigned
+	Uniform  []Assigned
+}
+
+// nodeRef is one internal node in the global enumeration, with its
+// per-observation column statistics cached.
+type nodeRef struct {
+	module, treeIdx, nodeIdx int
+	node                     *tree.Node
+	// offset is the node's first index in the global candidate list;
+	// count its number of candidates (|P|·|Obs|).
+	offset, count int
+	// colStats[k] covers the module's variables at observation Obs[k].
+	colStats []score.Stats
+}
+
+// enumerate builds the canonical global node list and candidate offsets.
+// trees[mi] is the ensemble for module mi over vars modules[mi].
+func enumerate(q *score.QData, modules [][]int, trees [][]*tree.Tree, candParents []int) []*nodeRef {
+	var nodes []*nodeRef
+	offset := 0
+	for mi := range trees {
+		for ti, tr := range trees[mi] {
+			for ni, n := range tr.InternalNodes() {
+				ref := &nodeRef{
+					module: mi, treeIdx: ti, nodeIdx: ni, node: n,
+					offset: offset, count: len(candParents) * len(n.Obs),
+				}
+				ref.colStats = make([]score.Stats, len(n.Obs))
+				for k, j := range n.Obs {
+					for _, x := range modules[mi] {
+						ref.colStats[k].Add(q.At(x, j))
+					}
+				}
+				nodes = append(nodes, ref)
+				offset += ref.count
+			}
+		}
+	}
+	return nodes
+}
+
+// PhaseAssign is the work-recording phase name for posterior computation.
+const PhaseAssign = "splits/assign"
+
+const logMLCost = 8
+
+// posterior computes the bootstrap posterior of global candidate ci of node
+// ref, drawing from sub (the candidate's numbered substream). It returns the
+// posterior and the number of resampling steps consumed.
+func posterior(q *score.QData, pr score.Prior, ref *nodeRef, candParents []int, ci int, sub *prng.MRG3, par Params) (float64, int) {
+	local := ci - ref.offset
+	nObs := len(ref.node.Obs)
+	parent := candParents[local/nObs]
+	value := q.At(parent, ref.node.Obs[local%nObs])
+	// Degenerate split: one side empty → zero posterior, discarded
+	// (§2.2.3: "candidate splits with zero posterior probability are
+	// discarded"). Costs one scan.
+	left := 0
+	for _, j := range ref.node.Obs {
+		if q.At(parent, j) <= value {
+			left++
+		}
+	}
+	if left == 0 || left == nObs {
+		return 0, 0
+	}
+	prow := q.Row(parent)
+	successes, steps := 0, 0
+	for steps < par.MaxSteps {
+		steps++
+		var ls, rs score.Stats
+		for k := 0; k < nObs; k++ {
+			pick := sub.Intn(nObs)
+			j := ref.node.Obs[pick]
+			if prow[j] <= value {
+				ls.Merge(ref.colStats[pick])
+			} else {
+				rs.Merge(ref.colStats[pick])
+			}
+		}
+		delta := pr.LogML(ls) + pr.LogML(rs) - pr.LogML(ls.Plus(rs))
+		if delta > 0 {
+			successes++
+		}
+		if steps >= par.MinSteps {
+			phat := float64(successes) / float64(steps)
+			hw := 1.96 * math.Sqrt(phat*(1-phat)/float64(steps))
+			if hw < par.CIHalfWidth {
+				break
+			}
+		}
+	}
+	return float64(successes) / float64(steps), steps
+}
+
+// learn computes all posteriors (partitioned by evalRange) and performs the
+// per-node selection on the full posterior vector.
+func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree,
+	par Params, g *prng.MRG3,
+	exchange func(local []float64, lo, hi, total int) []float64,
+	evalRange func(total int) (int, int),
+	wl *trace.Workload) Result {
+
+	par = par.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	total := 0
+	for _, ref := range nodes {
+		total += ref.count
+	}
+
+	// Posterior computation over this rank's block of the global list.
+	base := g.Clone()
+	lo, hi := evalRange(total)
+	local := make([]float64, 0, hi-lo)
+	var ph *trace.Phase
+	if wl != nil {
+		ph = wl.Phase(PhaseAssign)
+		if ph == nil {
+			ph = wl.AddPhase(PhaseAssign)
+		}
+	}
+	ni := 0
+	for ci := lo; ci < hi; ci++ {
+		for nodes[ni].offset+nodes[ni].count <= ci {
+			ni++
+		}
+		ref := nodes[ni]
+		p, steps := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
+		local = append(local, p)
+		if ph != nil {
+			cost := float64((steps + 1) * len(ref.node.Obs) * (1 + logMLCost/4))
+			ph.Items = append(ph.Items, trace.Item{Cost: cost, Seg: ni})
+		}
+	}
+	posteriors := exchange(local, lo, hi, total)
+	if ph != nil {
+		ph.Collectives++
+		ph.Words += int64(total)
+	}
+
+	return selectSplits(q, nodes, posteriors, par, g)
+}
+
+// selectSplits performs the per-node selection over the full posterior
+// vector: J weighted + J uniform picks over the retained (non-zero
+// posterior) candidates per node, in canonical node order, consuming the
+// shared stream identically on every rank.
+func selectSplits(q *score.QData, nodes []*nodeRef, posteriors []float64, par Params, g *prng.MRG3) Result {
+	var res Result
+	for _, ref := range nodes {
+		ps := posteriors[ref.offset : ref.offset+ref.count]
+		weights := make([]uint64, len(ps))
+		var retained []int
+		for i, p := range ps {
+			weights[i] = uint64(math.RoundToEven(p * (1 << 32)))
+			if p > 0 {
+				retained = append(retained, i)
+			}
+		}
+		if len(retained) == 0 {
+			continue
+		}
+		mk := func(local int) Assigned {
+			nObs := len(ref.node.Obs)
+			parent := par.Candidates[local/nObs]
+			return Assigned{
+				Module: ref.module, Tree: ref.treeIdx, Node: ref.nodeIdx,
+				Parent:    parent,
+				Value:     q.At(parent, ref.node.Obs[local%nObs]),
+				Posterior: ps[local],
+				NodeObs:   nObs,
+			}
+		}
+		for s := 0; s < par.NumSplits; s++ {
+			wi := g.WeightedIndex(weights)
+			res.Weighted = append(res.Weighted, mk(wi))
+		}
+		for s := 0; s < par.NumSplits; s++ {
+			ui := retained[g.Intn(len(retained))]
+			res.Uniform = append(res.Uniform, mk(ui))
+		}
+	}
+	return res
+}
+
+// Learn computes and selects splits sequentially.
+func Learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree,
+	par Params, g *prng.MRG3, wl *trace.Workload) Result {
+	return learn(q, pr, modules, trees, par, g,
+		func(local []float64, lo, hi, total int) []float64 { return local },
+		func(total int) (int, int) { return 0, total },
+		wl)
+}
+
+// LearnParallel computes posteriors over c's ranks (fine-grained static
+// block distribution, Algorithm 5 line 5 — or the dynamic distribution when
+// par.DynamicChunk is set), gathers them, and selects splits identically on
+// every rank.
+func LearnParallel(c *comm.Comm, q *score.QData, pr score.Prior, modules [][]int,
+	trees [][]*tree.Tree, par Params, g *prng.MRG3) Result {
+	if par.DynamicChunk > 0 {
+		return LearnParallelDynamic(c, q, pr, modules, trees, par, g, par.DynamicChunk)
+	}
+	if par.ScanSelection {
+		return LearnParallelScan(c, q, pr, modules, trees, par, g)
+	}
+	return learn(q, pr, modules, trees, par, g,
+		func(local []float64, lo, hi, total int) []float64 {
+			return comm.AllGatherv(c, local)
+		},
+		func(total int) (int, int) {
+			return comm.BlockRange(total, c.Size(), c.Rank())
+		},
+		nil)
+}

@@ -1,0 +1,321 @@
+package splits
+
+import (
+	"reflect"
+	"testing"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/prng"
+	"parsimone/internal/score"
+	"parsimone/internal/synth"
+	"parsimone/internal/trace"
+	"parsimone/internal/tree"
+)
+
+// fixture builds a small module set with trees from synthetic data.
+func fixture(t testing.TB, seed uint64) (*score.QData, [][]int, [][]*tree.Tree, *synth.Truth) {
+	t.Helper()
+	d, truth, err := synth.Generate(synth.Config{
+		N: 20, M: 30, Regulators: 3, Modules: 2, Noise: 0.25, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Standardize()
+	q := score.QuantizeData(d)
+	pr := score.DefaultPrior()
+	// Ground-truth modules as the module set (members only).
+	modules := make([][]int, truth.NumModules)
+	for x, mod := range truth.ModuleOf {
+		if mod >= 0 {
+			modules[mod] = append(modules[mod], x)
+		}
+	}
+	// One tree per module from an even observation clustering.
+	clusters := func(k int) [][]int {
+		out := make([][]int, k)
+		for j := 0; j < q.M; j++ {
+			out[j*k/q.M] = append(out[j*k/q.M], j)
+		}
+		return out
+	}
+	trees := make([][]*tree.Tree, len(modules))
+	for mi, vars := range modules {
+		trees[mi] = []*tree.Tree{tree.Build(q, pr, vars, clusters(4), nil)}
+	}
+	return q, modules, trees, truth
+}
+
+func TestLearnBasic(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 1)
+	res := Learn(q, score.DefaultPrior(), modules, trees, Params{NumSplits: 2}, prng.New(5), nil)
+	if len(res.Weighted) == 0 || len(res.Uniform) == 0 {
+		t.Fatal("no splits assigned")
+	}
+	if len(res.Weighted) != len(res.Uniform) {
+		t.Fatalf("weighted %d != uniform %d", len(res.Weighted), len(res.Uniform))
+	}
+	for _, a := range res.Weighted {
+		if a.Posterior <= 0 || a.Posterior > 1 {
+			t.Fatalf("posterior %v out of (0,1]", a.Posterior)
+		}
+		if a.Module < 0 || a.Module >= len(modules) {
+			t.Fatalf("module %d out of range", a.Module)
+		}
+		if a.Parent < 0 || a.Parent >= q.N {
+			t.Fatalf("parent %d out of range", a.Parent)
+		}
+		if a.NodeObs < 2 {
+			t.Fatalf("node with %d observations produced a split", a.NodeObs)
+		}
+	}
+}
+
+func TestLearnSplitsPerNode(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 2)
+	j := 3
+	res := Learn(q, score.DefaultPrior(), modules, trees, Params{NumSplits: j}, prng.New(6), nil)
+	// Count per (module, tree, node): must be exactly J where present.
+	counts := map[[3]int]int{}
+	for _, a := range res.Weighted {
+		counts[[3]int{a.Module, a.Tree, a.Node}]++
+	}
+	for key, c := range counts {
+		if c != j {
+			t.Fatalf("node %v has %d weighted splits, want %d", key, c, j)
+		}
+	}
+}
+
+func TestLearnDeterministic(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 3)
+	a := Learn(q, score.DefaultPrior(), modules, trees, Params{}, prng.New(7), nil)
+	b := Learn(q, score.DefaultPrior(), modules, trees, Params{}, prng.New(7), nil)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different splits")
+	}
+}
+
+// TestParallelMatchesSequential: the §4.2 contract for the dominant phase.
+func TestParallelMatchesSequential(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 4)
+	pr := score.DefaultPrior()
+	par := Params{NumSplits: 2, MaxSteps: 24}
+	want := Learn(q, pr, modules, trees, par, prng.New(9), nil)
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		_, err := comm.Run(p, func(c *comm.Comm) error {
+			got := LearnParallel(c, q, pr, modules, trees, par, prng.New(9))
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("p=%d rank %d: splits differ", p, c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestTrueRegulatorsScoreHighly: splits on a module's true regulator must
+// appear among the assigned splits with high posterior — the signal the
+// whole pipeline exists to find.
+func TestTrueRegulatorsScoreHighly(t *testing.T) {
+	q, modules, trees, truth := fixture(t, 5)
+	res := Learn(q, score.DefaultPrior(), modules, trees,
+		Params{NumSplits: 4}, prng.New(11), nil)
+	// For each module, check whether any weighted split uses a true
+	// regulator; across modules at least one must, and its posterior must
+	// be substantial.
+	bestTrue := 0.0
+	for _, a := range res.Weighted {
+		for _, r := range truth.Regulators[a.Module] {
+			if a.Parent == r && a.Posterior > bestTrue {
+				bestTrue = a.Posterior
+			}
+		}
+	}
+	if bestTrue < 0.5 {
+		t.Fatalf("no true regulator split with posterior ≥ 0.5 (best %v)", bestTrue)
+	}
+}
+
+func TestPosteriorDegenerateSplit(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 6)
+	par := Params{}.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	ref := nodes[0]
+	// Find the candidate whose value is the node's maximum for parent 0:
+	// everything goes left → degenerate → posterior 0, zero steps.
+	maxIdx, maxVal := 0, q.At(par.Candidates[0], ref.node.Obs[0])
+	for k, j := range ref.node.Obs {
+		if v := q.At(par.Candidates[0], j); v >= maxVal {
+			maxVal, maxIdx = v, k
+		}
+	}
+	ci := ref.offset + maxIdx // parent index 0 → offset + obs index
+	p, steps := posterior(q, score.DefaultPrior(), ref, par.Candidates, ci, prng.New(1), par)
+	if p != 0 || steps != 0 {
+		t.Fatalf("degenerate split: posterior %v steps %d, want 0, 0", p, steps)
+	}
+}
+
+func TestPosteriorStepBounds(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 7)
+	par := Params{MinSteps: 8, MaxSteps: 32}.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	g := prng.New(3)
+	for _, ref := range nodes[:min(3, len(nodes))] {
+		for ci := ref.offset; ci < ref.offset+min(ref.count, 50); ci++ {
+			_, steps := posterior(q, score.DefaultPrior(), ref, par.Candidates, ci, g.Substream(uint64(ci)), par)
+			if steps != 0 && (steps < par.MinSteps || steps > par.MaxSteps) {
+				t.Fatalf("steps %d outside [%d, %d]", steps, par.MinSteps, par.MaxSteps)
+			}
+		}
+	}
+}
+
+func TestEnumerateOffsets(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 8)
+	par := Params{}.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	offset := 0
+	for _, ref := range nodes {
+		if ref.offset != offset {
+			t.Fatalf("node offset %d, want %d", ref.offset, offset)
+		}
+		if ref.count != len(par.Candidates)*len(ref.node.Obs) {
+			t.Fatalf("node count %d, want %d", ref.count, len(par.Candidates)*len(ref.node.Obs))
+		}
+		if len(ref.colStats) != len(ref.node.Obs) {
+			t.Fatal("column stats length mismatch")
+		}
+		offset += ref.count
+	}
+}
+
+func TestCandidateRestriction(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 9)
+	cands := []int{0, 1, 2} // regulators only
+	res := Learn(q, score.DefaultPrior(), modules, trees,
+		Params{Candidates: cands}, prng.New(13), nil)
+	for _, a := range append(res.Weighted, res.Uniform...) {
+		if a.Parent > 2 {
+			t.Fatalf("split uses parent %d outside candidate list", a.Parent)
+		}
+	}
+}
+
+func TestWorkloadRecordsImbalanceSource(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 10)
+	wl := &trace.Workload{}
+	Learn(q, score.DefaultPrior(), modules, trees, Params{}, prng.New(15), wl)
+	ph := wl.Phase(PhaseAssign)
+	if ph == nil || len(ph.Items) == 0 {
+		t.Fatal("no work recorded")
+	}
+	if ph.PerSegmentBarrier {
+		t.Fatal("split phase must be a single global partition, not per-segment")
+	}
+	// Item costs must actually vary (the imbalance source).
+	minC, maxC := ph.Items[0].Cost, ph.Items[0].Cost
+	for _, it := range ph.Items {
+		minC = min(minC, it.Cost)
+		maxC = max(maxC, it.Cost)
+	}
+	if maxC <= minC {
+		t.Fatal("all split costs identical; no imbalance to study")
+	}
+}
+
+func TestParamsDefaults(t *testing.T) {
+	p := Params{}.withDefaults(10)
+	if p.NumSplits != 2 || p.MaxSteps != 64 || p.MinSteps != 8 || p.CIHalfWidth != 0.08 {
+		t.Fatalf("defaults: %+v", p)
+	}
+	if len(p.Candidates) != 10 || p.Candidates[9] != 9 {
+		t.Fatalf("candidate default: %v", p.Candidates)
+	}
+}
+
+func BenchmarkLearn(b *testing.B) {
+	q, modules, trees, _ := fixture(b, 1)
+	pr := score.DefaultPrior()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Learn(q, pr, modules, trees, Params{MaxSteps: 16}, prng.New(uint64(i)), nil)
+	}
+}
+
+// TestDynamicMatchesStatic: the dynamic coordinator/worker distribution
+// (the paper's §6 future work) must return exactly the static schemes'
+// result — per-split substreams make posteriors independent of which rank
+// computes them.
+func TestDynamicMatchesStatic(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 11)
+	pr := score.DefaultPrior()
+	par := Params{NumSplits: 2, MaxSteps: 24}
+	want := Learn(q, pr, modules, trees, par, prng.New(17), nil)
+	for _, p := range []int{1, 2, 3, 5} {
+		for _, chunk := range []int{0, 1, 7, 1000000} {
+			_, err := comm.Run(p, func(c *comm.Comm) error {
+				got := LearnParallelDynamic(c, q, pr, modules, trees, par, prng.New(17), chunk)
+				if !reflect.DeepEqual(got, want) {
+					t.Errorf("p=%d chunk=%d rank %d: dynamic result differs", p, chunk, c.Rank())
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("p=%d chunk=%d: %v", p, chunk, err)
+			}
+		}
+	}
+}
+
+// TestScanSelectionMatchesGather: the paper's segmented-scan selection path
+// must choose bit-identical splits to the gather-based path and the
+// sequential path — integer weights make the distributed prefix sums exact.
+func TestScanSelectionMatchesGather(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 12)
+	pr := score.DefaultPrior()
+	par := Params{NumSplits: 3, MaxSteps: 24}
+	want := Learn(q, pr, modules, trees, par, prng.New(31), nil)
+	for _, p := range []int{1, 2, 3, 5, 8} {
+		_, err := comm.Run(p, func(c *comm.Comm) error {
+			got := LearnParallelScan(c, q, pr, modules, trees, par, prng.New(31))
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("p=%d rank %d: scan-selected splits differ", p, c.Rank())
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestScanUsesLessCommunication: the scan path must move fewer elements
+// than the gather path (its entire reason to exist).
+func TestScanUsesLessCommunication(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 13)
+	pr := score.DefaultPrior()
+	par := Params{NumSplits: 2, MaxSteps: 16}
+	elems := func(fn func(c *comm.Comm)) int64 {
+		stats, err := comm.Run(4, func(c *comm.Comm) error {
+			fn(c)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total int64
+		for _, s := range stats {
+			total += s.Elems
+		}
+		return total
+	}
+	gather := elems(func(c *comm.Comm) { LearnParallel(c, q, pr, modules, trees, par, prng.New(3)) })
+	scan := elems(func(c *comm.Comm) { LearnParallelScan(c, q, pr, modules, trees, par, prng.New(3)) })
+	if scan >= gather {
+		t.Fatalf("scan moved %d elements, gather %d — no saving", scan, gather)
+	}
+}

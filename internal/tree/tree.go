@@ -1,0 +1,248 @@
+// Package tree builds the binary regression-tree structures of the
+// module-learning task (§2.2.3 step 1, Algorithm 4 lines 10–18): the leaves
+// are an observation clustering sampled by GaneSH, and internal nodes are
+// created by Bayesian hierarchical agglomerative clustering — repeatedly
+// merging the pair of *consecutive* subtrees whose merged block has the best
+// score gain, until a single root remains.
+//
+// The parallel variant partitions the per-round merge-score evaluations over
+// ranks and combines them with an all-reduce max (score, then lowest index
+// on ties), exactly mirroring Algorithm 4; results are identical to the
+// sequential variant for every rank count because every candidate score is
+// computed by exactly one rank and compared exactly.
+package tree
+
+import (
+	"fmt"
+	"sort"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/score"
+	"parsimone/internal/trace"
+)
+
+// Node is a node of a binary regression tree over observations.
+type Node struct {
+	// Obs is the sorted set of observations at the node.
+	Obs []int
+	// Stats covers the module's variables × Obs.
+	Stats score.Stats
+	// Left and Right are nil for leaves.
+	Left, Right *Node
+}
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// Tree is a binary regression tree for one module.
+type Tree struct {
+	Root *Node
+	// Vars are the module's variables the tree was built for.
+	Vars []int
+}
+
+// InternalNodes returns the non-leaf nodes in pre-order (root first) — the
+// canonical enumeration order used by split assignment.
+func (t *Tree) InternalNodes() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil || n.IsLeaf() {
+			return
+		}
+		out = append(out, n)
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	return out
+}
+
+// Leaves returns the leaf nodes in pre-order.
+func (t *Tree) Leaves() []*Node {
+	var out []*Node
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		if n.IsLeaf() {
+			out = append(out, n)
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+	}
+	walk(t.Root)
+	return out
+}
+
+// CheckInvariants verifies the structural tree invariants: every internal
+// node's observation set is the disjoint union of its children's, statistics
+// match a recomputation, and the root covers every leaf observation exactly
+// once.
+func (t *Tree) CheckInvariants(q *score.QData) error {
+	var walk func(n *Node) error
+	walk = func(n *Node) error {
+		var want score.Stats
+		for _, x := range t.Vars {
+			row := q.Row(x)
+			for _, j := range n.Obs {
+				want.Add(row[j])
+			}
+		}
+		if n.Stats != want {
+			return fmt.Errorf("tree: node stats %+v, recomputed %+v", n.Stats, want)
+		}
+		if n.IsLeaf() {
+			return nil
+		}
+		if n.Left == nil || n.Right == nil {
+			return fmt.Errorf("tree: internal node with a single child")
+		}
+		if len(n.Left.Obs)+len(n.Right.Obs) != len(n.Obs) {
+			return fmt.Errorf("tree: child observation counts %d+%d != %d",
+				len(n.Left.Obs), len(n.Right.Obs), len(n.Obs))
+		}
+		union := map[int]bool{}
+		for _, j := range n.Left.Obs {
+			union[j] = true
+		}
+		for _, j := range n.Right.Obs {
+			if union[j] {
+				return fmt.Errorf("tree: observation %d in both children", j)
+			}
+			union[j] = true
+		}
+		for _, j := range n.Obs {
+			if !union[j] {
+				return fmt.Errorf("tree: observation %d lost in children", j)
+			}
+		}
+		if err := walk(n.Left); err != nil {
+			return err
+		}
+		return walk(n.Right)
+	}
+	return walk(t.Root)
+}
+
+// PhaseBuild is the work-recording phase name.
+const PhaseBuild = "tree/build"
+
+const logMLCost = 8
+
+// leafNodes creates the initial subtree list from an observation clustering
+// (canonical order: as given, which snapshots order by smallest member).
+func leafNodes(q *score.QData, vars []int, clusters [][]int) []*Node {
+	leaves := make([]*Node, len(clusters))
+	for i, cl := range clusters {
+		obs := append([]int(nil), cl...)
+		sort.Ints(obs)
+		var s score.Stats
+		for _, x := range vars {
+			row := q.Row(x)
+			for _, j := range obs {
+				s.Add(row[j])
+			}
+		}
+		leaves[i] = &Node{Obs: obs, Stats: s}
+	}
+	return leaves
+}
+
+// mergeGain is the Bayesian merge score of consecutive subtrees a and b.
+func mergeGain(pr score.Prior, a, b *Node) float64 {
+	return pr.LogML(a.Stats.Plus(b.Stats)) - pr.LogML(a.Stats) - pr.LogML(b.Stats)
+}
+
+// merge creates the parent of two consecutive subtrees.
+func merge(a, b *Node) *Node {
+	obs := make([]int, 0, len(a.Obs)+len(b.Obs))
+	obs = append(obs, a.Obs...)
+	obs = append(obs, b.Obs...)
+	sort.Ints(obs)
+	return &Node{Obs: obs, Stats: a.Stats.Plus(b.Stats), Left: a, Right: b}
+}
+
+// scoredIndex pairs a merge score with its pair index for exact max
+// reduction (higher score wins; lower index on ties).
+type scoredIndex struct {
+	Score float64
+	Index int
+}
+
+func better(a, b scoredIndex) scoredIndex {
+	if b.Index < 0 {
+		return a
+	}
+	if a.Index < 0 {
+		return b
+	}
+	if a.Score > b.Score || (a.Score == b.Score && a.Index < b.Index) {
+		return a
+	}
+	return b
+}
+
+// build runs the agglomeration; evalBlock returns the best merge candidate
+// among pair indices [lo, hi) and is the hook the parallel variant uses to
+// restrict evaluation to a rank's block before the cross-rank reduction.
+func build(q *score.QData, pr score.Prior, vars []int, clusters [][]int,
+	pick func(subtrees []*Node) int, wl *trace.Workload) *Tree {
+	if len(clusters) == 0 {
+		panic("tree: no observation clusters")
+	}
+	subtrees := leafNodes(q, vars, clusters)
+	var ph *trace.Phase
+	if wl != nil {
+		ph = wl.Phase(PhaseBuild)
+		if ph == nil {
+			ph = wl.AddPhase(PhaseBuild)
+			ph.PerSegmentBarrier = true
+		}
+	}
+	round := 0
+	for len(subtrees) > 1 {
+		if ph != nil {
+			for i := 0; i < len(subtrees)-1; i++ {
+				ph.Items = append(ph.Items, trace.Item{Cost: 3 * logMLCost, Seg: round})
+			}
+			ph.Collectives++
+			ph.Words += 2
+			ph.SerialCost += float64(len(subtrees[0].Obs)) // merge bookkeeping
+		}
+		best := pick(subtrees)
+		merged := merge(subtrees[best], subtrees[best+1])
+		subtrees[best] = merged
+		subtrees = append(subtrees[:best+1], subtrees[best+2:]...)
+		round++
+	}
+	return &Tree{Root: subtrees[0], Vars: append([]int(nil), vars...)}
+}
+
+// Build constructs the regression tree sequentially.
+func Build(q *score.QData, pr score.Prior, vars []int, clusters [][]int, wl *trace.Workload) *Tree {
+	return build(q, pr, vars, clusters, func(subtrees []*Node) int {
+		best := scoredIndex{Index: -1}
+		for i := 0; i < len(subtrees)-1; i++ {
+			best = better(best, scoredIndex{Score: mergeGain(pr, subtrees[i], subtrees[i+1]), Index: i})
+		}
+		return best.Index
+	}, wl)
+}
+
+// BuildParallel constructs the identical tree with the per-round merge
+// scores partitioned over c's ranks (Algorithm 4 lines 13–17).
+func BuildParallel(c *comm.Comm, q *score.QData, pr score.Prior, vars []int, clusters [][]int) *Tree {
+	return build(q, pr, vars, clusters, func(subtrees []*Node) int {
+		pairs := len(subtrees) - 1
+		lo, hi := comm.BlockRange(pairs, c.Size(), c.Rank())
+		local := scoredIndex{Index: -1}
+		for i := lo; i < hi; i++ {
+			local = better(local, scoredIndex{Score: mergeGain(pr, subtrees[i], subtrees[i+1]), Index: i})
+		}
+		best := comm.AllReduce(c, local, better)
+		return best.Index
+	}, nil)
+}

@@ -1,0 +1,127 @@
+// Package parsimone is a Go implementation of ParsiMoNe — the parallel
+// module-network construction system of "Parallel Construction of Module
+// Networks" (Srivastava, Chockalingam, Aluru & Aluru, SC '21) — including
+// the three Lemon-Tree learning tasks it parallelizes: GaneSH Gibbs-sampler
+// co-clustering, spectral consensus clustering, and regression-tree module
+// learning with parent-split assignment.
+//
+// # Quick start
+//
+//	data, _ := parsimone.LoadTSV("expression.tsv")
+//	opt := parsimone.DefaultOptions()
+//	opt.Seed = 42
+//	out, err := parsimone.Learn(data, opt)          // sequential
+//	out, err = parsimone.LearnParallel(8, data, opt) // 8 ranks, same network
+//
+// The parallel engine runs on an MPI-style message-passing runtime over
+// goroutines and learns exactly the same network as the sequential engine
+// for every rank count — the reproducibility guarantee of the paper's §4.2.
+//
+// Synthetic module-structured data with ground truth is available through
+// GenerateSynthetic for benchmarking and validation.
+package parsimone
+
+import (
+	"parsimone/internal/core"
+	"parsimone/internal/dataset"
+	"parsimone/internal/eval"
+	"parsimone/internal/genomica"
+	"parsimone/internal/module"
+	"parsimone/internal/prng"
+	"parsimone/internal/result"
+	"parsimone/internal/score"
+	"parsimone/internal/synth"
+)
+
+// Data is an n×m expression matrix with named variables.
+type Data = dataset.Data
+
+// Options configures a learning run; see DefaultOptions.
+type Options = core.Options
+
+// Output is the result of a learning run: the network, per-module
+// artifacts, and the per-task timing breakdown.
+type Output = core.Output
+
+// Network is the learned module network artifact with XML/JSON
+// serialization.
+type Network = result.Network
+
+// SynthConfig configures the synthetic data generator.
+type SynthConfig = synth.Config
+
+// SynthTruth is the generative ground truth of a synthetic data set.
+type SynthTruth = synth.Truth
+
+// DefaultOptions returns the paper's minimum-run-time experiment
+// configuration: one GaneSH run, one update step, one regression tree per
+// module, every variable a candidate parent.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Learn runs the full pipeline sequentially.
+func Learn(d *Data, opt Options) (*Output, error) { return core.Learn(d, opt) }
+
+// LearnParallel runs the full pipeline on p message-passing ranks and
+// returns the (identical) network with aggregate communication statistics.
+func LearnParallel(p int, d *Data, opt Options) (*Output, error) {
+	return core.LearnParallel(p, d, opt)
+}
+
+// LoadTSV reads an expression matrix from a tab-separated file (one row per
+// variable: name, then one value per observation; optional header).
+func LoadTSV(path string) (*Data, error) { return dataset.LoadTSV(path) }
+
+// NewData allocates an empty n×m data set with generated variable names.
+func NewData(n, m int) *Data { return dataset.New(n, m) }
+
+// GenerateSynthetic produces a module-structured synthetic expression data
+// set with known ground truth (modules, regulator programs, condition
+// groups).
+func GenerateSynthetic(cfg SynthConfig) (*Data, *SynthTruth, error) {
+	return synth.Generate(cfg)
+}
+
+// Equal reports whether two learned networks are exactly identical —
+// modules, memberships, and parent scores.
+func Equal(a, b *Network) bool { return result.Equal(a, b) }
+
+// CPD is a module's executable regression-tree conditional distribution.
+type CPD = module.CPD
+
+// BuildCPDs assembles one executable CPD per learned module, enabling
+// prediction and held-out likelihood scoring with the learned network.
+func BuildCPDs(d *Data, opt Options, out *Output) ([]*CPD, error) {
+	return core.BuildCPDs(d, opt, out)
+}
+
+// QuantizeObservation maps a raw observation vector onto the fixed-point
+// grid the CPDs consume.
+func QuantizeObservation(values []float64) []int64 {
+	out := make([]int64, len(values))
+	for i, v := range values {
+		out[i] = score.Quantize(v)
+	}
+	return out
+}
+
+// GenomicaParams configures the GENOMICA (Segal et al.) two-step learner,
+// provided as a comparison system (paper §1.1, §6).
+type GenomicaParams = genomica.Params
+
+// GenomicaResult is a GENOMICA-learned module network.
+type GenomicaResult = genomica.Result
+
+// LearnGenomica runs the GENOMICA two-step algorithm on the data set
+// (standardized and quantized like the Lemon-Tree engines).
+func LearnGenomica(d *Data, par GenomicaParams, seed uint64) (*GenomicaResult, error) {
+	work := d.Clone()
+	work.Standardize()
+	q := score.QuantizeData(work)
+	return genomica.Learn(q, score.DefaultPrior(), par, prng.New(seed))
+}
+
+// CrossValidate runs k-fold cross-validation over observations, scoring
+// each fold's CPDs on held-out conditions against the global-mean baseline.
+func CrossValidate(d *Data, opt Options, k int) (*eval.CVResult, error) {
+	return eval.CrossValidate(d, opt, k)
+}
