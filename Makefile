@@ -1,0 +1,32 @@
+# Tier-1 verification (ROADMAP.md): formatting, vet, build, tests, and a
+# race-detector pass over the concurrency-bearing packages (the goroutine
+# message-passing runtime, the split-scoring paths, and the intra-rank
+# worker pool).
+
+GO ?= go
+
+.PHONY: tier1 fmt vet build test race bench
+
+tier1: fmt vet build test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/
+
+# Regenerate the full reduced-scale reproduction (minutes).
+bench:
+	$(GO) run ./cmd/benchtab all

@@ -59,6 +59,11 @@ func BenchmarkImbalance(b *testing.B) { runExperiment(b, "imbalance") }
 // (fine vs coarse vs dynamic; §3.2.3 and §6).
 func BenchmarkAblationDist(b *testing.B) { runExperiment(b, "ablation-dist") }
 
+// BenchmarkThreads regenerates the intra-rank worker-pool measurement:
+// wall clock at W∈{1,2,4,8} with per-worker split-scoring counters (real
+// speedup >1 requires a multicore host).
+func BenchmarkThreads(b *testing.B) { runExperiment(b, "threads") }
+
 // BenchmarkEstimate regenerates the §5.2.2 m² extrapolation check.
 func BenchmarkEstimate(b *testing.B) { runExperiment(b, "estimate") }
 

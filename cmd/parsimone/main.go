@@ -37,6 +37,7 @@ func run(args []string, stdout io.Writer) error {
 		in         = fs.String("in", "", "input TSV expression matrix (required)")
 		out        = fs.String("out", "network.xml", "output network file (.xml or .json)")
 		ranks      = fs.Int("p", 1, "number of message-passing ranks")
+		threads    = fs.Int("threads", 1, "intra-rank worker goroutines per rank (W); the network is identical for every (p, W)")
 		seed       = fs.Uint64("seed", 1, "PRNG seed")
 		ganeshRuns = fs.Int("ganesh-runs", 1, "number of GaneSH co-clustering runs (G)")
 		updates    = fs.Int("updates", 1, "GaneSH update steps per run (U)")
@@ -56,6 +57,12 @@ func run(args []string, stdout io.Writer) error {
 	if *in == "" {
 		fs.Usage()
 		return fmt.Errorf("-in is required")
+	}
+	if *ranks < 1 {
+		return fmt.Errorf("-p must be ≥ 1, got %d", *ranks)
+	}
+	if *threads < 1 {
+		return fmt.Errorf("-threads must be ≥ 1, got %d", *threads)
 	}
 
 	d, err := dataset.LoadTSV(*in)
@@ -83,6 +90,7 @@ func run(args []string, stdout io.Writer) error {
 
 	opt := core.DefaultOptions()
 	opt.Seed = *seed
+	opt.Workers = *threads
 	opt.GaneshRuns = *ganeshRuns
 	opt.Ganesh.Updates = *updates
 	opt.Module.Tree.Updates = *treeRuns + opt.Module.Tree.Burnin
@@ -114,10 +122,10 @@ func run(args []string, stdout io.Writer) error {
 
 	var output *core.Output
 	if *ranks > 1 {
-		logf("learning on %d ranks ...", *ranks)
+		logf("learning on %d ranks × %d workers ...", *ranks, *threads)
 		output, err = core.LearnParallel(*ranks, d, opt)
 	} else {
-		logf("learning sequentially ...")
+		logf("learning sequentially (%d workers) ...", *threads)
 		output, err = core.Learn(d, opt)
 	}
 	if err != nil {
@@ -129,14 +137,18 @@ func run(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	defer f.Close()
 	if strings.HasSuffix(*out, ".json") {
 		err = output.Network.WriteJSON(f)
 	} else {
 		err = output.Network.WriteXML(f)
 	}
+	// Close errors surface buffered-write failures (e.g. a full disk) that
+	// a deferred close would swallow.
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
 	if err != nil {
-		return err
+		return fmt.Errorf("writing %s: %w", *out, err)
 	}
 	logf("wrote %s", *out)
 

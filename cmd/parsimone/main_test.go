@@ -139,4 +139,53 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-in", in, "-regulators", "NOPE"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("unknown regulator accepted")
 	}
+	// -p 0 and negatives must be rejected, not silently run sequentially.
+	for _, p := range []string{"0", "-3"} {
+		if err := run([]string{"-in", in, "-p", p}, new(bytes.Buffer)); err == nil {
+			t.Fatalf("-p %s accepted", p)
+		}
+	}
+	for _, w := range []string{"0", "-2"} {
+		if err := run([]string{"-in", in, "-threads", w}, new(bytes.Buffer)); err == nil {
+			t.Fatalf("-threads %s accepted", w)
+		}
+	}
+	// An unwritable output path must surface a write error.
+	if err := run([]string{"-in", in, "-max-steps", "8", "-quiet",
+		"-out", filepath.Join(t.TempDir(), "missing-dir", "net.xml")}, new(bytes.Buffer)); err == nil {
+		t.Fatal("unwritable output path accepted")
+	}
+}
+
+// TestRunThreadsIdentical: the CLI must produce byte-identical networks for
+// every -threads value, alone and combined with -p.
+func TestRunThreadsIdentical(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	outputs := map[string][]string{
+		"w1.xml":   {"-in", in, "-max-steps", "8", "-quiet"},
+		"w4.xml":   {"-in", in, "-max-steps", "8", "-quiet", "-threads", "4"},
+		"p2w3.xml": {"-in", in, "-max-steps", "8", "-quiet", "-p", "2", "-threads", "3"},
+	}
+	nets := map[string]*result.Network{}
+	for name, args := range outputs {
+		out := filepath.Join(dir, name)
+		if err := run(append(args, "-out", out), new(bytes.Buffer)); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		f, err := os.Open(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nets[name], err = result.ReadXML(f)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for name, net := range nets {
+		if !result.Equal(net, nets["w1.xml"]) {
+			t.Fatalf("%s differs from single-worker run", name)
+		}
+	}
 }

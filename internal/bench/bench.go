@@ -173,8 +173,9 @@ func fmtDur(d time.Duration) string {
 func Experiments() []string {
 	return []string{
 		"table1", "fig3", "fig4", "fig5a", "fig5b", "fig5c",
-		"fig6", "table2", "imbalance", "ablation-dist", "estimate",
-		"determinism", "compare-genomica", "crossval", "comm-volume",
+		"fig6", "table2", "imbalance", "ablation-dist", "threads",
+		"estimate", "determinism", "compare-genomica", "crossval",
+		"comm-volume",
 	}
 }
 
@@ -201,6 +202,8 @@ func Run(id string, scale Scale) (*Table, error) {
 		return Imbalance(scale), nil
 	case "ablation-dist":
 		return AblationDist(scale), nil
+	case "threads":
+		return Threads(scale), nil
 	case "estimate":
 		return Estimate(scale), nil
 	case "determinism":

@@ -47,6 +47,28 @@ func TestExperimentsAllDispatch(t *testing.T) {
 	}
 }
 
+// TestThreadsExperiment: the worker-pool table must report a bit-identical
+// network at every W and carry W per-worker counters per row. Wall-clock
+// speedup is NOT asserted — it requires a multicore host.
+func TestThreadsExperiment(t *testing.T) {
+	tab, err := Run("threads", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 rows (W∈{1,2,4,8}), got %d", len(tab.Rows))
+	}
+	for _, row := range tab.Rows {
+		if row[4] != "true" {
+			t.Fatalf("W=%s network not identical: %v", row[0], row)
+		}
+		w, _ := strconv.Atoi(row[0])
+		if got := len(strings.Split(row[5], "/")); got != w {
+			t.Fatalf("W=%s row has %d worker counters: %v", row[0], got, row)
+		}
+	}
+}
+
 func TestDeterminismExperiment(t *testing.T) {
 	tab, err := Run("determinism", Quick)
 	if err != nil {

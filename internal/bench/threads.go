@@ -1,0 +1,79 @@
+// The hybrid worker-pool experiment: real wall-clock effect of intra-rank
+// workers (internal/pool) on the table1-shaped workload. This is a *measured*
+// experiment, unlike the modeled strong-scaling figures — the pool's worker
+// goroutines are genuine OS-thread parallelism, so on a multicore host the
+// W>1 rows show real speedup. On a single-core host they show the pool's
+// overhead instead; the host's core count is printed so the table is
+// interpretable either way.
+
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"parsimone/internal/core"
+	"parsimone/internal/result"
+	"parsimone/internal/splits"
+)
+
+// fmtWorkerCost renders per-worker cost counters compactly ("c0/c1/…").
+func fmtWorkerCost(cost []float64) string {
+	if len(cost) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(cost))
+	for w, c := range cost {
+		parts[w] = fmt.Sprintf("%.0f", c)
+	}
+	return strings.Join(parts, "/")
+}
+
+// Threads measures the sequential engine at W ∈ {1, 2, 4, 8} intra-rank
+// workers on the largest table1-shaped workload: wall time, speedup vs W=1,
+// the bit-identity of the learned network, and the per-worker split-scoring
+// cost counters with their §5.3.1-style imbalance.
+func Threads(scale Scale) *Table {
+	ns, ms := table1Sizes(scale)
+	n, m := ns[len(ns)-1], ms[len(ms)-1]
+	t := &Table{
+		Title:  fmt.Sprintf("Intra-rank worker pool — wall clock at W∈{1,2,4,8} (n=%d, m=%d, p=1)", n, m),
+		Header: []string{"W", "total", "modules-task", "speedup", "identical", "split worker-cost", "worker-imb"},
+		Notes: []string{
+			fmt.Sprintf("host has %d CPU core(s); speedup >1 needs a multicore host", runtime.NumCPU()),
+			"the learned network is bit-identical for every (p, W) combination (DESIGN.md §6)",
+			"worker-cost: per-worker split-scoring cost counters, deterministic by static chunk deal",
+		},
+	}
+	d := subsetData(n, m, 42, n, m)
+	var base time.Duration
+	var want *result.Network
+	for _, workers := range []int{1, 2, 4, 8} {
+		opt := runOptions(7)
+		opt.Workers = workers
+		opt.RecordWork = true
+		start := time.Now()
+		out, err := core.Learn(d, opt)
+		if err != nil {
+			panic(err)
+		}
+		dur := time.Since(start)
+		if workers == 1 {
+			base = dur
+			want = out.Network
+		}
+		ph := out.Workload.Phase(splits.PhaseAssign)
+		t.AddRow(
+			fmt.Sprint(workers),
+			fmtDur(dur),
+			fmtDur(out.Timers.Get(core.TaskModules)),
+			fmt.Sprintf("%.2f", float64(base)/float64(dur)),
+			fmt.Sprint(result.Equal(out.Network, want)),
+			fmtWorkerCost(ph.WorkerCost),
+			fmt.Sprintf("%.3f", ph.WorkerImbalance()),
+		)
+	}
+	return t
+}

@@ -32,9 +32,12 @@ type ensemblesCheckpoint struct {
 	Ensembles  [][][]int `json:"ensembles"`
 }
 
-// modulesCheckpoint persists the consensus task's output.
+// modulesCheckpoint persists the consensus task's output. GaneshRuns guards
+// it too: the consensus modules are a function of the G-run ensemble, so
+// resuming them under a different G would silently keep the old modules.
 type modulesCheckpoint struct {
 	Seed       uint64  `json:"seed"`
+	GaneshRuns int     `json:"ganeshRuns"`
 	N          int     `json:"n"`
 	ModuleVars [][]int `json:"moduleVars"`
 }
@@ -55,17 +58,44 @@ func loadCheckpoint(dir, name string, v any) (bool, error) {
 	return true, nil
 }
 
-// saveCheckpoint writes v atomically (write temp, rename).
+// saveCheckpoint writes v atomically and durably: create the directory,
+// write a temp file, fsync it, rename over the final name, and fsync the
+// directory. Without the fsyncs a crash can leave a renamed-but-truncated
+// file that loadCheckpoint rejects as corrupt on resume; a stale .tmp from
+// an earlier crash is simply overwritten.
 func saveCheckpoint(dir, name string, v any) error {
 	data, err := json.Marshal(v)
 	if err != nil {
 		return err
 	}
-	tmp := filepath.Join(dir, name+".tmp")
-	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	return os.Rename(tmp, filepath.Join(dir, name))
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return err
+	}
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 // loadEnsembles returns the checkpointed GaneSH ensembles if present and
@@ -91,8 +121,9 @@ func loadModules(dir string, opt Options, n int) ([][]int, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
-	if ck.Seed != opt.Seed || ck.N != n {
-		return nil, false, fmt.Errorf("core: checkpoint %s was written by a different configuration", ckptModules)
+	if ck.Seed != opt.Seed || ck.GaneshRuns != opt.GaneshRuns || ck.N != n {
+		return nil, false, fmt.Errorf("core: checkpoint %s was written by a different configuration (seed %d, G %d, n %d)",
+			ckptModules, ck.Seed, ck.GaneshRuns, ck.N)
 	}
 	return ck.ModuleVars, true, nil
 }

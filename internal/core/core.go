@@ -63,6 +63,14 @@ type Options struct {
 	// RecordWork enables work recording (sequential engine only); the
 	// recorded workload drives the strong-scaling time model.
 	RecordWork bool
+	// Workers is W, the number of intra-rank worker goroutines each
+	// engine (and, in the parallel engine, each rank) uses to evaluate
+	// its block of score computations — the thread level of hybrid
+	// process×thread parallelism (internal/pool). 0 or 1 means serial.
+	// The learned network is bit-identical for every (p, Workers)
+	// combination (DESIGN.md §6). Copied into Ganesh, Module.Tree, and
+	// Module.Splits unless those set their own worker counts.
+	Workers int
 	// CheckpointDir, when set, persists each task's output there (as the
 	// paper's pipeline writes intermediate files between tasks, §5.3) and
 	// resumes from whatever checkpoints exist. Because each task draws
@@ -119,7 +127,28 @@ func (o Options) validate() error {
 	if o.CoOccurrenceThreshold < 0 || o.CoOccurrenceThreshold > 1 {
 		return fmt.Errorf("core: co-occurrence threshold %v outside [0,1]", o.CoOccurrenceThreshold)
 	}
+	if o.Workers < 0 {
+		return fmt.Errorf("core: Workers %d must be ≥ 0", o.Workers)
+	}
 	return nil
+}
+
+// withWorkers threads the hybrid worker knob into every task's params,
+// keeping any per-task count the caller set explicitly.
+func (o Options) withWorkers() Options {
+	if o.Workers == 0 {
+		return o
+	}
+	if o.Ganesh.Workers == 0 {
+		o.Ganesh.Workers = o.Workers
+	}
+	if o.Module.Tree.Workers == 0 {
+		o.Module.Tree.Workers = o.Workers
+	}
+	if o.Module.Splits.Workers == 0 {
+		o.Module.Splits.Workers = o.Workers
+	}
+	return o
 }
 
 // prepare standardizes (optionally) and quantizes the data set.
@@ -218,7 +247,7 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 			moduleVars = consensus.Cluster(q.N, a, opt.Consensus)
 		})
 		if opt.CheckpointDir != "" && prim.writesCheckpoints {
-			ck := modulesCheckpoint{Seed: opt.Seed, N: q.N, ModuleVars: moduleVars}
+			ck := modulesCheckpoint{Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: q.N, ModuleVars: moduleVars}
 			if err := saveCheckpoint(opt.CheckpointDir, ckptModules, ck); err != nil {
 				return nil, err
 			}
@@ -262,6 +291,7 @@ func Learn(d *dataset.Data, opt Options) (*Output, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	opt = opt.withWorkers()
 	q, err := prepare(d, opt)
 	if err != nil {
 		return nil, err
@@ -301,6 +331,7 @@ func LearnWithComm(c *comm.Comm, d *dataset.Data, opt Options) (*Output, error) 
 	if opt.RecordWork {
 		return nil, fmt.Errorf("core: work recording is only supported on the sequential engine")
 	}
+	opt = opt.withWorkers()
 	q, err := prepare(d, opt)
 	if err != nil {
 		return nil, err

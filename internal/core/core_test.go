@@ -94,6 +94,28 @@ func TestPInvariance(t *testing.T) {
 			t.Fatalf("p=%d: network differs from sequential", p)
 		}
 	}
+	// Hybrid sweep: the intra-rank worker pool must preserve the same
+	// network for every (p, W) combination, including the sequential
+	// engine with workers.
+	for _, workers := range []int{1, 2, 4} {
+		opt.Workers = workers
+		got, err := Learn(d, opt)
+		if err != nil {
+			t.Fatalf("seq W=%d: %v", workers, err)
+		}
+		if !result.Equal(got.Network, want.Network) {
+			t.Fatalf("seq W=%d: network differs", workers)
+		}
+		for _, p := range []int{1, 2, 4} {
+			got, err := LearnParallel(p, d, opt)
+			if err != nil {
+				t.Fatalf("p=%d W=%d: %v", p, workers, err)
+			}
+			if !result.Equal(got.Network, want.Network) {
+				t.Fatalf("p=%d W=%d: network differs from sequential", p, workers)
+			}
+		}
+	}
 }
 
 func TestLearnRecordsWork(t *testing.T) {
@@ -406,6 +428,94 @@ func TestCheckpointConfigMismatchRejected(t *testing.T) {
 	opt.Seed = 999 // different run must not silently reuse the checkpoint
 	if _, err := Learn(d, opt); err == nil {
 		t.Fatal("mismatched checkpoint accepted")
+	}
+}
+
+// TestCheckpointLeftoverTmpIgnored: a stale .tmp file from a crashed save
+// must neither break the run nor leak into the resumed state.
+func TestCheckpointLeftoverTmpIgnored(t *testing.T) {
+	d, _ := testData(t, 24, 20, 18)
+	opt := fastOptions(35)
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	opt.CheckpointDir = dir
+	if err := os.WriteFile(filepath.Join(dir, "ensembles.json.tmp"), []byte("{garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Learn(d, opt); err != nil {
+		t.Fatalf("leftover .tmp broke the run: %v", err)
+	}
+	resumed, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(resumed.Network, want.Network) {
+		t.Fatal("resume after leftover .tmp differs")
+	}
+}
+
+// TestCheckpointCorruptRejected: a truncated/corrupt checkpoint must fail
+// loudly instead of resuming from garbage.
+func TestCheckpointCorruptRejected(t *testing.T) {
+	d, _ := testData(t, 24, 20, 19)
+	opt := fastOptions(37)
+	dir := t.TempDir()
+	opt.CheckpointDir = dir
+	if err := os.WriteFile(filepath.Join(dir, "ensembles.json"), []byte(`{"seed":37,`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+// TestCheckpointGaneshRunsMismatchRejected: changing G invalidates both the
+// ensembles and the consensus modules derived from them.
+func TestCheckpointGaneshRunsMismatchRejected(t *testing.T) {
+	d, _ := testData(t, 24, 20, 20)
+	opt := fastOptions(39)
+	dir := t.TempDir()
+	opt.CheckpointDir = dir
+	if _, err := Learn(d, opt); err != nil {
+		t.Fatal(err)
+	}
+	opt.GaneshRuns = 2
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("GaneshRuns-mismatched checkpoint accepted")
+	}
+	// Also with only the ensembles checkpoint present.
+	if err := os.Remove(filepath.Join(dir, "modules.json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("GaneshRuns-mismatched ensembles checkpoint accepted")
+	}
+}
+
+// TestCheckpointCreatesDir: a nested CheckpointDir that does not exist yet
+// must be created by the first save.
+func TestCheckpointCreatesDir(t *testing.T) {
+	d, _ := testData(t, 24, 20, 21)
+	opt := fastOptions(41)
+	dir := filepath.Join(t.TempDir(), "nested", "ckpt")
+	opt.CheckpointDir = dir
+	if _, err := Learn(d, opt); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "modules.json")); err != nil {
+		t.Fatal("checkpoint not written into created directory")
+	}
+}
+
+func TestWorkersValidation(t *testing.T) {
+	d, _ := testData(t, 20, 16, 22)
+	opt := fastOptions(1)
+	opt.Workers = -1
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("negative Workers accepted")
 	}
 }
 

@@ -17,6 +17,7 @@ package ganesh
 import (
 	"parsimone/internal/cluster"
 	"parsimone/internal/comm"
+	"parsimone/internal/pool"
 	"parsimone/internal/prng"
 	"parsimone/internal/score"
 	"parsimone/internal/trace"
@@ -32,6 +33,12 @@ type Params struct {
 	InitObsClusters int
 	// Updates is U, the number of update steps.
 	Updates int
+	// Workers is W, the number of intra-rank worker goroutines evaluating
+	// each decision's candidate gains (internal/pool); 0 or 1 means
+	// serial. The drawn choices are identical for every worker count: the
+	// Gain* evaluations are read-only on the clustering state and each
+	// writes only its own gains slot.
+	Workers int
 }
 
 func (p Params) withDefaults(n, m int) Params {
@@ -63,33 +70,46 @@ const (
 // relative to one cell-statistics update.
 const logMLCost = 8
 
+// gainsChunk is the pool chunk size for gain evaluations, which are much
+// cheaper than split posteriors; small chunks keep the round-robin deal
+// balanced over the short candidate lists of one decision.
+const gainsChunk = 8
+
 // executor abstracts how a decision's candidate gains are computed: locally
 // (sequential) or block-partitioned over ranks followed by an all-gather
-// (parallel). Implementations must return exactly the same gains vector.
+// (parallel), in both cases fanned over the intra-rank worker pool.
+// Implementations must return exactly the same gains vector; the Stats are
+// the pool counters of this rank's share, weighted by cost.
 type executor interface {
-	// gains evaluates eval(i) for i in [0, count) and returns all values.
-	gains(count int, eval func(int) float64) []float64
+	// gains evaluates eval(i) for i in [0, count) and returns all values;
+	// cost(i) is the recorded cost of candidate i.
+	gains(count int, eval func(int) float64, cost func(int) float64) ([]float64, pool.Stats)
 }
 
-type seqExec struct{}
+type seqExec struct{ workers int }
 
-func (seqExec) gains(count int, eval func(int) float64) []float64 {
+func (e seqExec) gains(count int, eval func(int) float64, cost func(int) float64) ([]float64, pool.Stats) {
 	out := make([]float64, count)
-	for i := range out {
+	st := pool.For(count, e.workers, gainsChunk, func(i, w int) float64 {
 		out[i] = eval(i)
-	}
-	return out
+		return cost(i)
+	})
+	return out, st
 }
 
-type parExec struct{ c *comm.Comm }
+type parExec struct {
+	c       *comm.Comm
+	workers int
+}
 
-func (e parExec) gains(count int, eval func(int) float64) []float64 {
+func (e parExec) gains(count int, eval func(int) float64, cost func(int) float64) ([]float64, pool.Stats) {
 	lo, hi := comm.BlockRange(count, e.c.Size(), e.c.Rank())
-	local := make([]float64, 0, hi-lo)
-	for i := lo; i < hi; i++ {
-		local = append(local, eval(i))
-	}
-	return comm.AllGatherv(e.c, local)
+	local := make([]float64, hi-lo)
+	st := pool.For(hi-lo, e.workers, gainsChunk, func(k, w int) float64 {
+		local[k] = eval(lo + k)
+		return cost(lo + k)
+	})
+	return comm.AllGatherv(e.c, local), st
 }
 
 // engine runs the sampler against an executor; the sequential and parallel
@@ -127,13 +147,14 @@ func (e *engine) phase(name string) *trace.Phase {
 // weighted choice. itemCost(i) reports the deterministic cost of evaluating
 // candidate i.
 func (e *engine) decide(phaseName string, count int, eval func(int) float64, itemCost func(int) float64) int {
-	gains := e.ex.gains(count, eval)
+	gains, st := e.ex.gains(count, eval, itemCost)
 	if ph := e.phase(phaseName); ph != nil {
 		seg := e.decision[phaseName]
 		e.decision[phaseName]++
 		for i := 0; i < count; i++ {
 			ph.Items = append(ph.Items, trace.Item{Cost: itemCost(i), Seg: seg})
 		}
+		ph.AddWorkerCost(st.Cost)
 		ph.Collectives++ // the gains all-gather
 		ph.Words += int64(count)
 	}
@@ -257,14 +278,14 @@ func (e *engine) run(par Params) *cluster.CoClustering {
 // co-clustering. If wl is non-nil the parallelizable work is recorded into
 // it for scaling analysis.
 func Run(q *score.QData, pr score.Prior, par Params, g *prng.MRG3, wl *trace.Workload) *cluster.CoClustering {
-	return newEngine(q, pr, g, seqExec{}, wl).run(par)
+	return newEngine(q, pr, g, seqExec{workers: par.Workers}, wl).run(par)
 }
 
 // RunParallel executes the same algorithm across c's ranks. Every rank must
 // pass a PRNG in the same state; every rank returns an identical
 // co-clustering, bit-equal to the sequential result from the same state.
 func RunParallel(c *comm.Comm, q *score.QData, pr score.Prior, par Params, g *prng.MRG3) *cluster.CoClustering {
-	return newEngine(q, pr, g, parExec{c: c}, nil).run(par)
+	return newEngine(q, pr, g, parExec{c: c, workers: par.Workers}, nil).run(par)
 }
 
 // ObsParams configures the observation-only sampler used by the
@@ -275,6 +296,8 @@ type ObsParams struct {
 	// Updates is U, the number of update steps; Burnin is B, the number
 	// of initial steps whose states are discarded.
 	Updates, Burnin int
+	// Workers as in Params.
+	Workers int
 }
 
 func (p ObsParams) withDefaults(m int) ObsParams {
@@ -296,13 +319,13 @@ func (p ObsParams) withDefaults(m int) ObsParams {
 // sampled after burn-in — one snapshot per post-burn-in update step — plus
 // the final partition state. Sequential variant.
 func SampleObsClusterings(q *score.QData, pr score.Prior, vars []int, par ObsParams, g *prng.MRG3, wl *trace.Workload) ([][][]int, *cluster.ObsClusters) {
-	return sampleObs(newEngine(q, pr, g, seqExec{}, wl), vars, par)
+	return sampleObs(newEngine(q, pr, g, seqExec{workers: par.Workers}, wl), vars, par)
 }
 
 // SampleObsClusteringsParallel is the distributed variant of
 // SampleObsClusterings; identical results on every rank.
 func SampleObsClusteringsParallel(c *comm.Comm, q *score.QData, pr score.Prior, vars []int, par ObsParams, g *prng.MRG3) ([][][]int, *cluster.ObsClusters) {
-	return sampleObs(newEngine(q, pr, g, parExec{c: c}, nil), vars, par)
+	return sampleObs(newEngine(q, pr, g, parExec{c: c, workers: par.Workers}, nil), vars, par)
 }
 
 func sampleObs(e *engine, vars []int, par ObsParams) ([][][]int, *cluster.ObsClusters) {

@@ -108,6 +108,66 @@ func TestParallelObsClusteringsMatchSequential(t *testing.T) {
 	}
 }
 
+// TestWorkersInvariance: the intra-rank worker pool must not change the
+// sampled clustering — sequential and parallel runs with W workers are
+// bit-identical to the serial W=1 run, and so are the obs-only samples.
+func TestWorkersInvariance(t *testing.T) {
+	q := testData(t, 24, 16, 6)
+	pr := score.DefaultPrior()
+	want := Run(q, pr, Params{Updates: 2}, prng.New(13), nil).VarSnapshot()
+	vars := []int{0, 2, 4, 6, 8}
+	wantSamples, _ := SampleObsClusterings(q, pr, vars, ObsParams{Updates: 2}, prng.New(19), nil)
+	for _, workers := range []int{2, 4} {
+		par := Params{Updates: 2, Workers: workers}
+		if got := Run(q, pr, par, prng.New(13), nil).VarSnapshot(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("sequential W=%d clustering differs", workers)
+		}
+		_, err := comm.Run(3, func(c *comm.Comm) error {
+			if got := RunParallel(c, q, pr, par, prng.New(13)).VarSnapshot(); !reflect.DeepEqual(got, want) {
+				return fmt.Errorf("rank %d W=%d clustering differs", c.Rank(), workers)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		samples, _ := SampleObsClusterings(q, pr, vars, ObsParams{Updates: 2, Workers: workers}, prng.New(19), nil)
+		if !reflect.DeepEqual(samples, wantSamples) {
+			t.Fatalf("obs sampler W=%d samples differ", workers)
+		}
+	}
+}
+
+// TestWorkersRecordCounters: with W workers the recorded phases carry
+// reproducible per-worker cost counters summing to the item costs.
+func TestWorkersRecordCounters(t *testing.T) {
+	q := testData(t, 24, 16, 7)
+	record := func() *trace.Workload {
+		wl := &trace.Workload{}
+		Run(q, score.DefaultPrior(), Params{Updates: 1, Workers: 4}, prng.New(17), wl)
+		return wl
+	}
+	a, b := record(), record()
+	for _, ph := range a.Phases {
+		if len(ph.WorkerCost) == 0 {
+			t.Fatalf("phase %s has no worker counters", ph.Name)
+		}
+		if !reflect.DeepEqual(ph.WorkerCost, b.Phase(ph.Name).WorkerCost) {
+			t.Fatalf("phase %s worker counters not reproducible", ph.Name)
+		}
+		var items, workers float64
+		for _, it := range ph.Items {
+			items += it.Cost
+		}
+		for _, c := range ph.WorkerCost {
+			workers += c
+		}
+		if items != workers {
+			t.Fatalf("phase %s: worker cost %v != item cost %v", ph.Name, workers, items)
+		}
+	}
+}
+
 // TestGibbsImprovesScore: the sampler should, on structured data, end far
 // above the score of its random initialization.
 func TestGibbsImprovesScore(t *testing.T) {

@@ -1,0 +1,100 @@
+// Package pool provides the deterministic intra-rank worker pool that adds
+// the thread level of hybrid process×thread parallelism to the engines: each
+// message-passing rank partitions its local block of score evaluations into
+// fixed-size chunks evaluated by W worker goroutines.
+//
+// Determinism is the design constraint (DESIGN.md §6): the learned network
+// must be bit-identical for every (rank count, worker count) combination.
+// The pool guarantees its half of that contract with a *static* round-robin
+// chunk assignment — worker w evaluates chunks w, w+W, w+2W, … in order — so
+// both the per-worker work counters and the set of items each worker touches
+// are a pure function of (n, workers, chunk). The caller supplies the other
+// half: fn(i, w) must depend only on i (each split already draws from its
+// own numbered PRNG substream) and must write its result only to a slot
+// indexed by i, never to shared mutable state.
+package pool
+
+import "sync"
+
+// DefaultChunk is the chunk size used when For is called with chunk <= 0.
+// Small enough that the round-robin deal stays balanced under the highly
+// variable per-split costs (§5.3.1 of the paper), large enough that chunk
+// bookkeeping is negligible against one bootstrap posterior evaluation.
+const DefaultChunk = 32
+
+// Stats reports the per-worker work of one For call. Because the chunk
+// assignment is static, Stats is identical for every execution with the same
+// (n, workers, chunk) — it can feed deterministic trace records.
+type Stats struct {
+	// Workers is the effective worker count after clamping (at most one
+	// worker per chunk, at least one).
+	Workers int
+	// Items[w] is the number of items worker w evaluated; Cost[w] the sum
+	// of fn's returned costs over those items.
+	Items []int64
+	Cost  []float64
+}
+
+// For evaluates fn(i, w) for every i in [0, n) using `workers` goroutines
+// and returns the per-worker work counters. The index range is split into
+// fixed-size chunks assigned round-robin: worker w evaluates chunks
+// w, w+W, w+2W, … in ascending order. fn must be safe to call concurrently
+// for distinct i; its return value is the abstract cost of item i (in the
+// trace package's cost units), accumulated per worker.
+//
+// workers <= 1 (or a range of at most one chunk) runs inline on the calling
+// goroutine with identical semantics. A panic in fn is re-raised on the
+// calling goroutine after all workers finish, so rank-level recovery (the
+// comm package's job-abort semantics) keeps working.
+func For(n, workers, chunk int, fn func(i, worker int) float64) Stats {
+	if chunk <= 0 {
+		chunk = DefaultChunk
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	nChunks := (n + chunk - 1) / chunk
+	if workers > nChunks {
+		workers = max(1, nChunks)
+	}
+	st := Stats{Workers: workers, Items: make([]int64, workers), Cost: make([]float64, workers)}
+	if n <= 0 {
+		return st
+	}
+	if workers == 1 {
+		var cost float64
+		for i := 0; i < n; i++ {
+			cost += fn(i, 0)
+		}
+		st.Items[0] = int64(n)
+		st.Cost[0] = cost
+		return st
+	}
+	panics := make([]any, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			defer func() { panics[w] = recover() }()
+			var items int64
+			var cost float64
+			for c := w; c < nChunks; c += workers {
+				hi := min((c+1)*chunk, n)
+				for i := c * chunk; i < hi; i++ {
+					cost += fn(i, w)
+					items++
+				}
+			}
+			st.Items[w] = items
+			st.Cost[w] = cost
+		}(w)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+	return st
+}

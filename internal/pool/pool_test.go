@@ -1,0 +1,132 @@
+package pool
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestForCoversAllIndices: every index in [0, n) is evaluated exactly once,
+// for awkward (n, workers, chunk) combinations including n not a multiple of
+// chunk and more workers than chunks.
+func TestForCoversAllIndices(t *testing.T) {
+	for _, tc := range []struct{ n, workers, chunk int }{
+		{0, 4, 8}, {1, 4, 8}, {7, 1, 3}, {100, 3, 7}, {100, 16, 7},
+		{5, 8, 2}, {64, 4, 0}, {33, 2, 32},
+	} {
+		counts := make([]int32, max(tc.n, 1))
+		st := For(tc.n, tc.workers, tc.chunk, func(i, w int) float64 {
+			atomic.AddInt32(&counts[i], 1)
+			return 1
+		})
+		for i := 0; i < tc.n; i++ {
+			if counts[i] != 1 {
+				t.Fatalf("(%d,%d,%d): index %d evaluated %d times", tc.n, tc.workers, tc.chunk, i, counts[i])
+			}
+		}
+		var items int64
+		for _, it := range st.Items {
+			items += it
+		}
+		if items != int64(tc.n) {
+			t.Fatalf("(%d,%d,%d): Items sum %d, want %d", tc.n, tc.workers, tc.chunk, items, tc.n)
+		}
+	}
+}
+
+// TestForOutputMatchesSerial: indexed writes from the pool produce the same
+// slice as a serial loop, for every worker count.
+func TestForOutputMatchesSerial(t *testing.T) {
+	const n = 97
+	want := make([]float64, n)
+	for i := range want {
+		want[i] = float64(i*i) / 3
+	}
+	for _, workers := range []int{1, 2, 3, 8} {
+		got := make([]float64, n)
+		For(n, workers, 4, func(i, w int) float64 {
+			got[i] = float64(i*i) / 3
+			return got[i]
+		})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("workers=%d: output differs from serial", workers)
+		}
+	}
+}
+
+// TestForStatsDeterministic: the per-worker counters are a pure function of
+// (n, workers, chunk) — identical across runs, and the cost totals match the
+// serial sum.
+func TestForStatsDeterministic(t *testing.T) {
+	cost := func(i, w int) float64 { return float64(i%7 + 1) }
+	var wantTotal float64
+	for i := 0; i < 83; i++ {
+		wantTotal += cost(i, 0)
+	}
+	first := For(83, 4, 8, cost)
+	for run := 0; run < 5; run++ {
+		st := For(83, 4, 8, cost)
+		if !reflect.DeepEqual(st, first) {
+			t.Fatalf("run %d: stats differ: %+v vs %+v", run, st, first)
+		}
+	}
+	var total float64
+	for _, c := range first.Cost {
+		total += c
+	}
+	if total != wantTotal {
+		t.Fatalf("cost total %v, want %v", total, wantTotal)
+	}
+	if first.Workers != 4 || len(first.Cost) != 4 || len(first.Items) != 4 {
+		t.Fatalf("unexpected shape: %+v", first)
+	}
+}
+
+// TestForClampsWorkers: at most one worker per chunk, at least one worker.
+func TestForClampsWorkers(t *testing.T) {
+	st := For(10, 16, 8, func(i, w int) float64 { return 0 })
+	if st.Workers != 2 {
+		t.Fatalf("workers = %d, want 2 (one per chunk)", st.Workers)
+	}
+	st = For(0, 16, 8, func(i, w int) float64 { return 0 })
+	if st.Workers != 1 {
+		t.Fatalf("workers = %d, want 1 for empty range", st.Workers)
+	}
+	st = For(10, 0, 8, func(i, w int) float64 { return 0 })
+	if st.Workers != 1 {
+		t.Fatalf("workers = %d, want 1 for workers<=0", st.Workers)
+	}
+}
+
+// TestForWorkerIDsInRange: the worker id passed to fn matches the static
+// round-robin chunk deal.
+func TestForWorkerIDsInRange(t *testing.T) {
+	const n, workers, chunk = 50, 3, 4
+	owner := make([]int, n)
+	For(n, workers, chunk, func(i, w int) float64 {
+		owner[i] = w
+		return 0
+	})
+	for i := 0; i < n; i++ {
+		if want := (i / chunk) % workers; owner[i] != want {
+			t.Fatalf("index %d evaluated by worker %d, want %d", i, owner[i], want)
+		}
+	}
+}
+
+// TestForPanicPropagates: a panic inside a worker reaches the caller, so the
+// comm runtime's rank-level recovery still sees it.
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want boom", r)
+		}
+	}()
+	For(100, 4, 8, func(i, w int) float64 {
+		if i == 57 {
+			panic("boom")
+		}
+		return 0
+	})
+	t.Fatal("no panic")
+}

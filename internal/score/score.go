@@ -188,12 +188,20 @@ func (p Prior) LogML(s Stats) float64 {
 // WeightBits is the resolution of quantized sampling weights.
 const WeightBits = 32
 
+// MaxWeight is the quantized weight of the maximum log-score, 2^WeightBits.
+const MaxWeight = uint64(1) << WeightBits
+
 // QuantizeWeights converts log-scores to integer sampling weights:
 // wᵢ = round(exp(sᵢ − max) · 2^WeightBits). The largest score always maps to
 // a positive weight, so a selection is possible whenever scores exist.
-// Entries with NaN score or score −Inf map to zero weight. The weights are
-// what the collective weighted sampling consumes; because they are integers,
-// partial sums combine associatively and selections are identical for every
+// Entries with NaN score or score −Inf map to zero weight; +Inf entries (and
+// anything whose scaled weight would exceed it) clamp to MaxWeight. The
+// clamp matters for determinism: when the maximum is +Inf, sᵢ − max is NaN
+// for that entry, and uint64(NaN) is platform-dependent in Go — amd64 yields
+// a huge garbage value while arm64 yields 0, so the same run would select
+// different candidates on different machines. The weights are what the
+// collective weighted sampling consumes; because they are integers, partial
+// sums combine associatively and selections are identical for every
 // processor count.
 func QuantizeWeights(logScores []float64) []uint64 {
 	ws := make([]uint64, len(logScores))
@@ -210,8 +218,16 @@ func QuantizeWeights(logScores []float64) []uint64 {
 		if math.IsNaN(s) || math.IsInf(s, -1) {
 			continue
 		}
-		w := math.Exp(s-maxs) * (1 << WeightBits)
-		ws[i] = uint64(math.RoundToEven(w))
+		if math.IsInf(s, 1) {
+			ws[i] = MaxWeight
+			continue
+		}
+		w := math.RoundToEven(math.Exp(s-maxs) * (1 << WeightBits))
+		if !(w < float64(MaxWeight)) {
+			ws[i] = MaxWeight
+			continue
+		}
+		ws[i] = uint64(w)
 	}
 	return ws
 }

@@ -278,6 +278,37 @@ func TestQuantizeWeightsHandlesDegenerate(t *testing.T) {
 	}
 }
 
+// TestQuantizeWeightsInfinity is the regression test for the +Inf bug: with
+// a +Inf maximum, s−max is NaN for that entry and uint64(NaN) is
+// platform-dependent. +Inf must clamp to MaxWeight deterministically, finite
+// entries must vanish next to it, and the degenerate inputs stay at zero.
+func TestQuantizeWeightsInfinity(t *testing.T) {
+	ws := QuantizeWeights([]float64{math.Inf(1), 0, math.NaN(), math.Inf(-1)})
+	if ws[0] != MaxWeight {
+		t.Fatalf("+Inf weight = %d, want MaxWeight %d", ws[0], MaxWeight)
+	}
+	if ws[1] != 0 {
+		t.Fatalf("finite score next to +Inf got weight %d, want 0", ws[1])
+	}
+	if ws[2] != 0 || ws[3] != 0 {
+		t.Fatalf("NaN/−Inf weights = %v, want 0", ws[2:])
+	}
+	// Two +Inf entries: both clamp, an equal-weight choice between them.
+	ws = QuantizeWeights([]float64{math.Inf(1), math.Inf(1)})
+	if ws[0] != MaxWeight || ws[1] != MaxWeight {
+		t.Fatalf("double +Inf weights = %v", ws)
+	}
+	// All-(−Inf): no candidate, all-zero weights.
+	ws = QuantizeWeights([]float64{math.Inf(-1), math.Inf(-1)})
+	if ws[0] != 0 || ws[1] != 0 {
+		t.Fatalf("all-(−Inf) weights = %v, want zeros", ws)
+	}
+	// The maximum finite score still maps exactly to MaxWeight.
+	if ws := QuantizeWeights([]float64{-2, -9}); ws[0] != MaxWeight {
+		t.Fatalf("max finite weight = %d, want %d", ws[0], MaxWeight)
+	}
+}
+
 func TestQuantizeWeightsRelativeOrder(t *testing.T) {
 	ws := QuantizeWeights([]float64{-1, -3, -2})
 	if !(ws[0] > ws[2] && ws[2] > ws[1]) {

@@ -13,9 +13,8 @@
 package splits
 
 import (
-	"sort"
-
 	"parsimone/internal/comm"
+	"parsimone/internal/pool"
 	"parsimone/internal/prng"
 	"parsimone/internal/score"
 	"parsimone/internal/tree"
@@ -57,18 +56,21 @@ func LearnParallelDynamic(c *comm.Comm, q *score.QData, pr score.Prior, modules 
 	}
 	base := g.Clone()
 
+	// computeRange evaluates one dealt chunk through the intra-rank worker
+	// pool; a sub-chunk granularity finer than the dealt chunk keeps W
+	// workers busy inside it. valMsg carries the global index, so dealing
+	// order never affects the gathered result.
+	subChunk := max(1, chunk/8)
 	computeRange := func(lo, hi int, out []valMsg) []valMsg {
-		ni := sort.Search(len(nodes), func(i int) bool {
-			return nodes[i].offset+nodes[i].count > lo
+		tmp := make([]valMsg, hi-lo)
+		pool.For(hi-lo, par.Workers, subChunk, func(k, w int) float64 {
+			ci := lo + k
+			ref := nodes[nodeIndexAt(nodes, ci)]
+			p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
+			tmp[k] = valMsg{Index: ci, P: p}
+			return itemCost(s, len(ref.node.Obs))
 		})
-		for ci := lo; ci < hi; ci++ {
-			for nodes[ni].offset+nodes[ni].count <= ci {
-				ni++
-			}
-			p, _ := posterior(q, pr, nodes[ni], par.Candidates, ci, base.Substream(uint64(ci)), par)
-			out = append(out, valMsg{Index: ci, P: p})
-		}
-		return out
+		return append(out, tmp...)
 	}
 
 	var local []valMsg

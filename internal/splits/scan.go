@@ -21,6 +21,7 @@ import (
 	"sort"
 
 	"parsimone/internal/comm"
+	"parsimone/internal/pool"
 	"parsimone/internal/prng"
 	"parsimone/internal/score"
 	"parsimone/internal/tree"
@@ -58,26 +59,27 @@ func LearnParallelScan(c *comm.Comm, q *score.QData, pr score.Prior, modules [][
 	}
 	base := g.Clone()
 
-	// Local posteriors over this rank's block, kept distributed.
+	// Local posteriors over this rank's block, kept distributed; evaluated
+	// by the intra-rank worker pool with indexed writes (identical for
+	// every worker count).
 	lo, hi := comm.BlockRange(total, c.Size(), c.Rank())
-	localW := make([]uint64, 0, hi-lo)
-	localP := make([]float64, 0, hi-lo)
-	localRetained := make([]bool, 0, hi-lo)
-	ni := 0
-	for ci := lo; ci < hi; ci++ {
-		for nodes[ni].offset+nodes[ni].count <= ci {
-			ni++
-		}
-		p, _ := posterior(q, pr, nodes[ni], par.Candidates, ci, base.Substream(uint64(ci)), par)
-		localW = append(localW, uint64(math.RoundToEven(p*(1<<32))))
-		localP = append(localP, p)
-		localRetained = append(localRetained, p > 0)
-	}
+	localW := make([]uint64, hi-lo)
+	localP := make([]float64, hi-lo)
+	localRetained := make([]bool, hi-lo)
+	pool.For(hi-lo, par.Workers, pool.DefaultChunk, func(k, w int) float64 {
+		ci := lo + k
+		ref := nodes[nodeIndexAt(nodes, ci)]
+		p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
+		localW[k] = uint64(math.RoundToEven(p * (1 << 32)))
+		localP[k] = p
+		localRetained[k] = p > 0
+		return itemCost(s, len(ref.node.Obs))
+	})
 
 	// Per-node partial sums of this rank's block (the local half of the
 	// segmented scan).
 	var partials []nodePartial
-	ni = 0
+	ni := 0
 	for ci := lo; ci < hi; ci++ {
 		for nodes[ni].offset+nodes[ni].count <= ci {
 			ni++

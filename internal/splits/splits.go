@@ -23,8 +23,10 @@ package splits
 
 import (
 	"math"
+	"sort"
 
 	"parsimone/internal/comm"
+	"parsimone/internal/pool"
 	"parsimone/internal/prng"
 	"parsimone/internal/score"
 	"parsimone/internal/trace"
@@ -55,6 +57,12 @@ type Params struct {
 	// less communication, identical result. Ignored when DynamicChunk is
 	// set.
 	ScanSelection bool
+	// Workers is W, the number of intra-rank worker goroutines evaluating
+	// this rank's posterior block (internal/pool); 0 or 1 means serial.
+	// Posteriors, trace items, and the selected splits are bit-identical
+	// for every (rank count, W) combination: each candidate draws only
+	// from its own numbered substream and writes only its own slot.
+	Workers int
 }
 
 func (p Params) withDefaults(n int) Params {
@@ -147,6 +155,20 @@ const PhaseAssign = "splits/assign"
 
 const logMLCost = 8
 
+// nodeIndexAt returns the index in nodes of the node owning global candidate
+// ci (nodes' [offset, offset+count) ranges tile the candidate list).
+func nodeIndexAt(nodes []*nodeRef, ci int) int {
+	return sort.Search(len(nodes), func(i int) bool {
+		return nodes[i].offset+nodes[i].count > ci
+	})
+}
+
+// itemCost is the recorded cost of one posterior evaluation that consumed
+// `steps` bootstrap resamples of a node with nObs observations.
+func itemCost(steps, nObs int) float64 {
+	return float64((steps + 1) * nObs * (1 + logMLCost/4))
+}
+
 // posterior computes the bootstrap posterior of global candidate ci of node
 // ref, drawing from sub (the candidate's numbered substream). It returns the
 // posterior and the number of resampling steps consumed.
@@ -211,35 +233,43 @@ func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 		total += ref.count
 	}
 
-	// Posterior computation over this rank's block of the global list.
+	// Posterior computation over this rank's block of the global list,
+	// fanned out over the intra-rank worker pool. Each candidate draws only
+	// from its own numbered substream (Substream is read-only on base) and
+	// writes only its own slot, so the fill is order-independent.
 	base := g.Clone()
 	lo, hi := evalRange(total)
-	local := make([]float64, 0, hi-lo)
-	var ph *trace.Phase
+	local := make([]float64, hi-lo)
+	steps := make([]int, hi-lo)
+	st := pool.For(hi-lo, par.Workers, pool.DefaultChunk, func(k, w int) float64 {
+		ci := lo + k
+		ref := nodes[nodeIndexAt(nodes, ci)]
+		p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
+		local[k] = p
+		steps[k] = s
+		return itemCost(s, len(ref.node.Obs))
+	})
 	if wl != nil {
-		ph = wl.Phase(PhaseAssign)
+		ph := wl.Phase(PhaseAssign)
 		if ph == nil {
 			ph = wl.AddPhase(PhaseAssign)
 		}
-	}
-	ni := 0
-	for ci := lo; ci < hi; ci++ {
-		for nodes[ni].offset+nodes[ni].count <= ci {
-			ni++
+		// Record items serially in canonical candidate order: the trace is
+		// identical for every worker count, while the per-worker counters
+		// reflect the pool's static chunk deal.
+		ni := 0
+		for k, s := range steps {
+			ci := lo + k
+			for nodes[ni].offset+nodes[ni].count <= ci {
+				ni++
+			}
+			ph.Items = append(ph.Items, trace.Item{Cost: itemCost(s, len(nodes[ni].node.Obs)), Seg: ni})
 		}
-		ref := nodes[ni]
-		p, steps := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
-		local = append(local, p)
-		if ph != nil {
-			cost := float64((steps + 1) * len(ref.node.Obs) * (1 + logMLCost/4))
-			ph.Items = append(ph.Items, trace.Item{Cost: cost, Seg: ni})
-		}
-	}
-	posteriors := exchange(local, lo, hi, total)
-	if ph != nil {
+		ph.AddWorkerCost(st.Cost)
 		ph.Collectives++
 		ph.Words += int64(total)
 	}
+	posteriors := exchange(local, lo, hi, total)
 
 	return selectSplits(q, nodes, posteriors, par, g)
 }

@@ -1,6 +1,7 @@
 package splits
 
 import (
+	"fmt"
 	"reflect"
 	"testing"
 
@@ -290,6 +291,96 @@ func TestScanSelectionMatchesGather(t *testing.T) {
 		if err != nil {
 			t.Fatalf("p=%d: %v", p, err)
 		}
+	}
+}
+
+// TestWorkersInvariance: the intra-rank worker pool must not change the
+// result — sequential Learn and all three parallel paths return bit-identical
+// splits for every (p, W) combination.
+func TestWorkersInvariance(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 14)
+	pr := score.DefaultPrior()
+	base := Params{NumSplits: 2, MaxSteps: 24}
+	want := Learn(q, pr, modules, trees, base, prng.New(23), nil)
+	for _, workers := range []int{2, 3, 8} {
+		par := base
+		par.Workers = workers
+		if got := Learn(q, pr, modules, trees, par, prng.New(23), nil); !reflect.DeepEqual(got, want) {
+			t.Fatalf("sequential W=%d: splits differ", workers)
+		}
+		for _, p := range []int{2, 3} {
+			for name, run := range map[string]func(c *comm.Comm) Result{
+				"gather": func(c *comm.Comm) Result {
+					return LearnParallel(c, q, pr, modules, trees, par, prng.New(23))
+				},
+				"scan": func(c *comm.Comm) Result {
+					return LearnParallelScan(c, q, pr, modules, trees, par, prng.New(23))
+				},
+				"dynamic": func(c *comm.Comm) Result {
+					return LearnParallelDynamic(c, q, pr, modules, trees, par, prng.New(23), 16)
+				},
+			} {
+				_, err := comm.Run(p, func(c *comm.Comm) error {
+					if got := run(c); !reflect.DeepEqual(got, want) {
+						t.Errorf("%s p=%d W=%d rank %d: splits differ", name, p, workers, c.Rank())
+					}
+					return nil
+				})
+				if err != nil {
+					t.Fatalf("%s p=%d W=%d: %v", name, p, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestWorkersTraceDeterministic: with W workers the recorded trace items are
+// identical to the serial recording (canonical candidate order), and the
+// per-worker counters are reproducible with totals matching the item costs.
+func TestWorkersTraceDeterministic(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 15)
+	pr := score.DefaultPrior()
+	record := func(workers int) *trace.Phase {
+		wl := &trace.Workload{}
+		Learn(q, pr, modules, trees, Params{MaxSteps: 24, Workers: workers}, prng.New(29), wl)
+		return wl.Phase(PhaseAssign)
+	}
+	serial := record(1)
+	for _, workers := range []int{1, 4} {
+		a, b := record(workers), record(workers)
+		if !reflect.DeepEqual(a.Items, serial.Items) {
+			t.Fatalf("W=%d: trace items differ from serial recording", workers)
+		}
+		if !reflect.DeepEqual(a.WorkerCost, b.WorkerCost) {
+			t.Fatalf("W=%d: worker counters not reproducible: %v vs %v", workers, a.WorkerCost, b.WorkerCost)
+		}
+		var items, workersSum float64
+		for _, it := range a.Items {
+			items += it.Cost
+		}
+		for _, c := range a.WorkerCost {
+			workersSum += c
+		}
+		if items != workersSum {
+			t.Fatalf("W=%d: worker cost total %v != item cost total %v", workers, workersSum, items)
+		}
+	}
+	if len(record(4).WorkerCost) != 4 {
+		t.Fatal("W=4 did not record 4 worker counters")
+	}
+}
+
+// BenchmarkLearnWorkers measures the split-scoring wall time at W ∈ {1,2,4,8}
+// on one fixture — the intra-rank speedup probe (>1 on multicore hosts).
+func BenchmarkLearnWorkers(b *testing.B) {
+	q, modules, trees, _ := fixture(b, 1)
+	pr := score.DefaultPrior()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("W%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				Learn(q, pr, modules, trees, Params{MaxSteps: 32, Workers: workers}, prng.New(uint64(i)), nil)
+			}
+		})
 	}
 }
 

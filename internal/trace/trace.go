@@ -135,7 +135,26 @@ type Phase struct {
 	// independently and the per-rank work is the sum over segments of the
 	// rank's share. Without it, the whole item list is partitioned once.
 	PerSegmentBarrier bool
+	// WorkerCost[w] is the cost this rank's intra-rank worker w evaluated
+	// (the hybrid thread level under the rank level; internal/pool). The
+	// pool's static chunk assignment makes these counters deterministic.
+	WorkerCost []float64
 }
+
+// AddWorkerCost accumulates one pool invocation's per-worker cost counters
+// into the phase, growing WorkerCost to the widest pool seen.
+func (ph *Phase) AddWorkerCost(cost []float64) {
+	for len(ph.WorkerCost) < len(cost) {
+		ph.WorkerCost = append(ph.WorkerCost, 0)
+	}
+	for w, c := range cost {
+		ph.WorkerCost[w] += c
+	}
+}
+
+// WorkerImbalance returns the §5.3.1 imbalance measure applied one level
+// down, across the intra-rank workers that evaluated this phase's items.
+func (ph *Phase) WorkerImbalance() float64 { return Imbalance(ph.WorkerCost) }
 
 // TotalCost returns the sum of item costs plus the serial cost.
 func (ph *Phase) TotalCost() float64 {
@@ -325,11 +344,24 @@ func argmin(xs []float64) int {
 // PhaseTime returns the modeled duration of one phase on p ranks: the
 // maximum per-rank compute time plus the communication charge.
 func (m Model) PhaseTime(ph *Phase, p int, scheme Scheme) time.Duration {
+	return m.HybridPhaseTime(ph, p, 1, scheme)
+}
+
+// HybridPhaseTime returns the modeled duration of one phase on p ranks with
+// W intra-rank workers each: a rank's partitionable item work divides by W
+// (the pool evaluates it concurrently), while SerialCost — replicated state
+// transitions outside the pool — does not, an Amdahl term that bounds the
+// hybrid speedup exactly as replication bounds the rank-level speedup.
+func (m Model) HybridPhaseTime(ph *Phase, p, workers int, scheme Scheme) time.Duration {
+	if workers < 1 {
+		workers = 1
+	}
 	work := m.PerRankWork(ph, p, scheme)
 	var maxWork float64
 	for _, w := range work {
-		if w > maxWork {
-			maxWork = w
+		h := (w-ph.SerialCost)/float64(workers) + ph.SerialCost
+		if h > maxWork {
+			maxWork = h
 		}
 	}
 	sec := maxWork * m.SecPerCost
@@ -342,9 +374,14 @@ func (m Model) PhaseTime(ph *Phase, p int, scheme Scheme) time.Duration {
 
 // Time returns the modeled end-to-end duration on p ranks.
 func (m Model) Time(w *Workload, p int, scheme Scheme) time.Duration {
+	return m.HybridTime(w, p, 1, scheme)
+}
+
+// HybridTime returns the modeled end-to-end duration on p ranks × W workers.
+func (m Model) HybridTime(w *Workload, p, workers int, scheme Scheme) time.Duration {
 	var total time.Duration
 	for _, ph := range w.Phases {
-		total += m.PhaseTime(ph, p, scheme)
+		total += m.HybridPhaseTime(ph, p, workers, scheme)
 	}
 	return total
 }

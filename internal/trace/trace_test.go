@@ -319,6 +319,67 @@ func TestModeledTimeMonotoneInP(t *testing.T) {
 	}
 }
 
+func TestAddWorkerCostAccumulates(t *testing.T) {
+	ph := &Phase{Name: "x"}
+	ph.AddWorkerCost([]float64{3, 1})
+	ph.AddWorkerCost([]float64{1, 1, 2}) // wider pool later in the phase
+	ph.AddWorkerCost(nil)
+	want := []float64{4, 2, 2}
+	if len(ph.WorkerCost) != len(want) {
+		t.Fatalf("WorkerCost = %v, want %v", ph.WorkerCost, want)
+	}
+	for w, c := range want {
+		if ph.WorkerCost[w] != c {
+			t.Fatalf("WorkerCost = %v, want %v", ph.WorkerCost, want)
+		}
+	}
+	// max=4, avg=8/3 → (4−8/3)/(8/3) = 0.5.
+	if got := ph.WorkerImbalance(); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("WorkerImbalance = %v, want 0.5", got)
+	}
+}
+
+// TestHybridPhaseTimeDividesItemWork: with no serial cost, W workers divide
+// the per-rank compute time by W; PhaseTime must equal the W=1 hybrid time.
+func TestHybridPhaseTimeDividesItemWork(t *testing.T) {
+	costs := make([]float64, 1024)
+	for i := range costs {
+		costs[i] = 1
+	}
+	ph := buildPhase(costs, nil)
+	m := DefaultModel()
+	m.SecPerCost = 1e-3
+	t1 := m.HybridPhaseTime(ph, 1, 1, StaticFine)
+	if t1 != m.PhaseTime(ph, 1, StaticFine) {
+		t.Fatal("PhaseTime must equal HybridPhaseTime at W=1")
+	}
+	t4 := m.HybridPhaseTime(ph, 1, 4, StaticFine)
+	if ratio := float64(t1) / float64(t4); math.Abs(ratio-4) > 1e-9 {
+		t.Fatalf("W=4 speedup %.3fx, want 4x", ratio)
+	}
+}
+
+// TestHybridPhaseTimeSerialCostIsAmdahlFloor: replicated serial work does not
+// shrink with W, so the hybrid time is bounded below by it.
+func TestHybridPhaseTimeSerialCostIsAmdahlFloor(t *testing.T) {
+	ph := buildPhase([]float64{100}, nil)
+	ph.SerialCost = 100
+	m := DefaultModel()
+	m.SecPerCost = 1e-3
+	t1 := m.HybridPhaseTime(ph, 1, 1, StaticFine)
+	t100 := m.HybridPhaseTime(ph, 1, 100, StaticFine)
+	floor := time.Duration(ph.SerialCost * m.SecPerCost * float64(time.Second))
+	if t100 < floor {
+		t.Fatalf("hybrid time %v below serial floor %v", t100, floor)
+	}
+	if ratio := float64(t1) / float64(t100); ratio > 2.01 {
+		t.Fatalf("speedup %.2fx exceeds the Amdahl bound 2x", ratio)
+	}
+	if got := m.HybridTime(&Workload{Phases: []*Phase{ph}}, 1, 100, StaticFine); got != t100 {
+		t.Fatalf("HybridTime %v, want %v", got, t100)
+	}
+}
+
 // TestCommunicationTermGrowsWithP: with compute zeroed, the α·log p charge
 // must be non-decreasing in p.
 func TestCommunicationTermGrowsWithP(t *testing.T) {
