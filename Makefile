@@ -1,13 +1,13 @@
-# Tier-1 verification (ROADMAP.md): formatting, vet, build, tests, and a
+# Tier-1 verification (ROADMAP.md): formatting, vet, build, tests, a
 # race-detector pass over the concurrency-bearing packages (the goroutine
 # message-passing runtime, the split-scoring paths, and the intra-rank
-# worker pool).
+# worker pool), and the fault-injection suite under the race detector.
 
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race bench
+.PHONY: tier1 fmt vet build test race faults fuzz bench
 
-tier1: fmt vet build test race
+tier1: fmt vet build test race faults
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -26,6 +26,18 @@ test:
 
 race:
 	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/
+
+# The fault-injection and crash-recovery suite, race-enabled: injected
+# crashes/delays/drops in comm, the dynamic-coordinator watchdog, and the
+# supervised restart-from-checkpoint acceptance tests.
+faults:
+	$(GO) test -race -run 'Fault|Recovery|Abort|Timeout|Failpoint|Restart|Checkpoint' \
+		./internal/comm/ ./internal/splits/ ./internal/core/
+
+# Short native-fuzzing pass over the TSV loader (the long-running campaign
+# is `go test -fuzz=FuzzReadTSV ./internal/dataset/` without -fuzztime).
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzReadTSV -fuzztime 10s ./internal/dataset/
 
 # Regenerate the full reduced-scale reproduction (minutes).
 bench:

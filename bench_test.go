@@ -115,3 +115,8 @@ func BenchmarkCrossVal(b *testing.B) { runExperiment(b, "crossval") }
 // BenchmarkCommVolume regenerates the measured communication-volume
 // comparison of the three split distribution paths.
 func BenchmarkCommVolume(b *testing.B) { runExperiment(b, "comm-volume") }
+
+// BenchmarkRecovery regenerates the crash-recovery experiment: checkpointing
+// overhead plus crash-at-failpoint → supervised restart → bit-identity
+// verification at each task boundary and module crash point.
+func BenchmarkRecovery(b *testing.B) { runExperiment(b, "recovery") }

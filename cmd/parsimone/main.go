@@ -45,6 +45,8 @@ func run(args []string, stdout io.Writer) error {
 		numSplits  = fs.Int("splits", 2, "splits chosen per tree node (J)")
 		maxSteps   = fs.Int("max-steps", 64, "bootstrap sampling cap per split (S)")
 		dist       = fs.String("dist", "static", "parallel split distribution: static, scan, or dynamic")
+		ckptDir    = fs.String("checkpoint", "", "checkpoint directory: task outputs and per-module progress are persisted there, and a rerun with the same data, seed, and options resumes from whatever checkpoints exist, learning the identical network; stale checkpoints from other configurations are rejected")
+		restarts   = fs.Int("max-restarts", 0, "with -p > 1: restart the world up to this many times after a rank failure, resuming from -checkpoint if set")
 		regulators = fs.String("regulators", "", "comma-separated candidate regulator names (default: all variables)")
 		subN       = fs.Int("n", 0, "use only the first n variables (0 = all)")
 		subM       = fs.Int("m", 0, "use only the first m observations (0 = all)")
@@ -63,6 +65,14 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *threads < 1 {
 		return fmt.Errorf("-threads must be ≥ 1, got %d", *threads)
+	}
+	if *restarts < 0 {
+		return fmt.Errorf("-max-restarts must be ≥ 0, got %d", *restarts)
+	}
+	if *ckptDir != "" {
+		if fi, err := os.Stat(*ckptDir); err == nil && !fi.IsDir() {
+			return fmt.Errorf("-checkpoint %q exists and is not a directory", *ckptDir)
+		}
 	}
 
 	d, err := dataset.LoadTSV(*in)
@@ -96,6 +106,8 @@ func run(args []string, stdout io.Writer) error {
 	opt.Module.Tree.Updates = *treeRuns + opt.Module.Tree.Burnin
 	opt.Module.Splits.NumSplits = *numSplits
 	opt.Module.Splits.MaxSteps = *maxSteps
+	opt.CheckpointDir = *ckptDir
+	opt.MaxRestarts = *restarts
 	switch *dist {
 	case "static":
 	case "scan":
@@ -130,6 +142,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if err != nil {
 		return err
+	}
+	for _, ev := range output.Recovery {
+		logf("recovered: %s", ev)
 	}
 	logf("learned %d modules; task times: %s", len(output.Network.Modules), output.Timers)
 

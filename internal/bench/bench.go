@@ -175,7 +175,7 @@ func Experiments() []string {
 		"table1", "fig3", "fig4", "fig5a", "fig5b", "fig5c",
 		"fig6", "table2", "imbalance", "ablation-dist", "threads",
 		"estimate", "determinism", "compare-genomica", "crossval",
-		"comm-volume",
+		"comm-volume", "recovery",
 	}
 }
 
@@ -214,6 +214,8 @@ func Run(id string, scale Scale) (*Table, error) {
 		return CrossVal(scale), nil
 	case "comm-volume":
 		return CommVolume(scale), nil
+	case "recovery":
+		return Recovery(scale), nil
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 }

@@ -25,6 +25,7 @@ import (
 	"reflect"
 	"runtime/debug"
 	"sync"
+	"time"
 )
 
 // envelope is a single in-flight point-to-point message.
@@ -39,6 +40,13 @@ type Stats struct {
 	Sends       int64 // point-to-point messages sent
 	Elems       int64 // elements sent
 	Collectives int64 // collective operations entered
+	// Ops numbers every communication call this rank made (point-to-point
+	// and collective entries, including those nested inside composite
+	// collectives). For a fixed program and rank count the sequence is
+	// deterministic, which is what makes Fault.Op a reproducible address.
+	Ops int64
+	// Retries counts messages retransmitted after an injected drop.
+	Retries int64
 }
 
 // Add accumulates other into s.
@@ -46,6 +54,8 @@ func (s *Stats) Add(other Stats) {
 	s.Sends += other.Sends
 	s.Elems += other.Elems
 	s.Collectives += other.Collectives
+	s.Ops += other.Ops
+	s.Retries += other.Retries
 }
 
 // World is the shared runtime for one parallel execution.
@@ -56,6 +66,9 @@ type World struct {
 	// communication — the MPI job-abort semantic.
 	aborted   chan struct{}
 	abortOnce sync.Once
+	// faults is the injection plan for this world (RunWithFaults). Empty in
+	// production runs and in subworlds created by Split.
+	faults []Fault
 }
 
 // abort releases every blocked rank.
@@ -105,10 +118,19 @@ func (e *RankError) Unwrap() error { return e.Err }
 // It returns the per-rank traffic stats and the lowest-rank error, if any.
 // A panic inside a rank is recovered and reported as a RankError.
 func Run(p int, fn func(*Comm) error) ([]Stats, error) {
+	return RunWithFaults(p, nil, fn)
+}
+
+// RunWithFaults is Run with a deterministic fault plan injected: each Fault
+// fires when its target rank reaches the fault's op index (see Fault and
+// Stats.Ops). Faults apply only to this top-level world — communicators
+// created by Split inherit the abort channel but no faults, and number
+// their ops independently.
+func RunWithFaults(p int, faults []Fault, fn func(*Comm) error) ([]Stats, error) {
 	if p <= 0 {
 		return nil, fmt.Errorf("comm: rank count %d must be positive", p)
 	}
-	w := &World{size: p, inbox: make([]chan envelope, p), aborted: make(chan struct{})}
+	w := &World{size: p, inbox: make([]chan envelope, p), aborted: make(chan struct{}), faults: faults}
 	for i := range w.inbox {
 		// Buffer enough that tree exchanges never deadlock on slow
 		// receivers; gathers may still block, which is fine.
@@ -128,9 +150,16 @@ func Run(p int, fn func(*Comm) error) ([]Stats, error) {
 					if err, ok := r.(error); ok && errors.Is(err, ErrAborted) {
 						errs[rank] = &RankError{Rank: rank, Err: ErrAborted}
 					} else {
+						// Keep the panic value's error chain intact so
+						// supervisors can errors.Is/As through the
+						// RankError (ErrInjected, failpoint sentinels).
+						err, ok := r.(error)
+						if !ok {
+							err = fmt.Errorf("%v", r)
+						}
 						errs[rank] = &RankError{
 							Rank:  rank,
-							Err:   fmt.Errorf("%v", r),
+							Err:   err,
 							Stack: string(debug.Stack()),
 						}
 					}
@@ -178,6 +207,7 @@ func Send[T any](c *Comm, to int, v T) {
 	if to < 0 || to >= c.world.size {
 		panic(fmt.Sprintf("comm: send to invalid rank %d of %d", to, c.world.size))
 	}
+	c.tick()
 	c.stats.Sends++
 	c.stats.Elems += elems(v)
 	select {
@@ -191,6 +221,7 @@ func Send[T any](c *Comm, to int, v T) {
 // Messages from other senders that arrive in the meantime are stashed and
 // delivered to later Recv calls in arrival order.
 func Recv[T any](c *Comm, from int) T {
+	c.tick()
 	if q := c.pending[from]; len(q) > 0 {
 		v := q[0]
 		c.pending[from] = q[1:]
@@ -213,6 +244,7 @@ func Recv[T any](c *Comm, from int) T {
 // Bcast distributes root's value to every rank along a binomial tree and
 // returns it. The v argument is ignored on non-root ranks.
 func Bcast[T any](c *Comm, root int, v T) T {
+	c.tick()
 	c.stats.Collectives++
 	p := c.world.size
 	vr := (c.rank - root + p) % p
@@ -237,6 +269,7 @@ func Bcast[T any](c *Comm, root int, v T) T {
 // Gather collects one value from every rank at root, ordered by rank.
 // Non-root ranks receive nil.
 func Gather[T any](c *Comm, root int, v T) []T {
+	c.tick()
 	c.stats.Collectives++
 	if c.rank != root {
 		Send(c, root, v)
@@ -295,6 +328,7 @@ func ExScan[T any](c *Comm, v T, op func(T, T) T, id T) T {
 
 // Barrier blocks until all ranks have entered it.
 func Barrier(c *Comm) {
+	c.tick()
 	c.stats.Collectives++
 	token := Gather(c, 0, struct{}{})
 	_ = token
@@ -372,6 +406,7 @@ func BlockOwner(n, size, i int) int {
 // Stashed messages are scanned lowest sender rank first; per-sender order
 // among same-type messages is preserved.
 func RecvAny[T any](c *Comm) (int, T) {
+	c.tick()
 	for from := 0; from < c.world.size; from++ {
 		q := c.pending[from]
 		for i, v := range q {
@@ -388,6 +423,39 @@ func RecvAny[T any](c *Comm) (int, T) {
 				return env.from, tv
 			}
 			c.pending[env.from] = append(c.pending[env.from], env.v)
+		case <-c.world.aborted:
+			panic(ErrAborted)
+		}
+	}
+}
+
+// RecvAnyTimeout is RecvAny with a deadline: it returns (-1, zero, false)
+// if no message of type T arrives within d. It lets a coordinator that
+// would otherwise block forever on a hung peer turn the hang into a
+// detectable failure (the dynamic split-distribution watchdog).
+func RecvAnyTimeout[T any](c *Comm, d time.Duration) (int, T, bool) {
+	c.tick()
+	for from := 0; from < c.world.size; from++ {
+		q := c.pending[from]
+		for i, v := range q {
+			if tv, ok := v.(T); ok {
+				c.pending[from] = append(q[:i:i], q[i+1:]...)
+				return from, tv, true
+			}
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	for {
+		select {
+		case env := <-c.world.inbox[c.rank]:
+			if tv, ok := env.v.(T); ok {
+				return env.from, tv, true
+			}
+			c.pending[env.from] = append(c.pending[env.from], env.v)
+		case <-t.C:
+			var zero T
+			return -1, zero, false
 		case <-c.world.aborted:
 			panic(ErrAborted)
 		}

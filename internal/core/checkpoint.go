@@ -4,6 +4,11 @@
 // interrupted multi-day run resume at a task boundary. Because every task
 // draws from its own numbered PRNG substream, resuming from a checkpoint
 // reproduces *exactly* the network an uninterrupted run would learn.
+//
+// Three files live in Options.CheckpointDir: ensembles.json (task 1),
+// modules.json (task 2), and progress.json — the per-module manifest that
+// lets a crash inside module learning (>90 % of runtime, §5.2) resume at
+// the last completed module instead of the last task boundary.
 
 package core
 
@@ -14,16 +19,26 @@ import (
 	"io/fs"
 	"os"
 	"path/filepath"
+	"sort"
+
+	"parsimone/internal/module"
 )
 
 // checkpoint file names inside Options.CheckpointDir.
 const (
 	ckptEnsembles = "ensembles.json"
 	ckptModules   = "modules.json"
+	ckptProgress  = "progress.json"
 )
+
+// checkpointVersion is the current on-disk format. Files written before
+// versioning was introduced decode as version 0 and are rejected; there is
+// no migration — delete the directory and re-learn.
+const checkpointVersion = 2
 
 // ensemblesCheckpoint persists the GaneSH task's output.
 type ensemblesCheckpoint struct {
+	Version int `json:"version"`
 	// Seed and GaneshRuns guard against resuming with a different
 	// configuration.
 	Seed       uint64    `json:"seed"`
@@ -36,10 +51,32 @@ type ensemblesCheckpoint struct {
 // it too: the consensus modules are a function of the G-run ensemble, so
 // resuming them under a different G would silently keep the old modules.
 type modulesCheckpoint struct {
+	Version    int     `json:"version"`
 	Seed       uint64  `json:"seed"`
 	GaneshRuns int     `json:"ganeshRuns"`
 	N          int     `json:"n"`
 	ModuleVars [][]int `json:"moduleVars"`
+}
+
+// progressCheckpoint persists the per-module units completed so far inside
+// the module-learning task. Each unit is independent (its own numbered PRNG
+// substream), so any subset can be resumed and the remainder recomputed
+// bit-identically.
+type progressCheckpoint struct {
+	Version    int            `json:"version"`
+	Seed       uint64         `json:"seed"`
+	GaneshRuns int            `json:"ganeshRuns"`
+	N          int            `json:"n"`
+	Units      []*module.Unit `json:"units"`
+}
+
+// checkVersion rejects checkpoint files written in another format.
+func checkVersion(name string, got int) error {
+	if got != checkpointVersion {
+		return fmt.Errorf("core: checkpoint %s is format v%d, expected v%d — delete the checkpoint directory to re-learn",
+			name, got, checkpointVersion)
+	}
+	return nil
 }
 
 // loadCheckpoint reads and validates a checkpoint file into v; a missing
@@ -106,6 +143,9 @@ func loadEnsembles(dir string, opt Options, n int) ([][][]int, error) {
 	if err != nil || !ok {
 		return nil, err
 	}
+	if err := checkVersion(ckptEnsembles, ck.Version); err != nil {
+		return nil, err
+	}
 	if ck.Seed != opt.Seed || ck.GaneshRuns != opt.GaneshRuns || ck.N != n {
 		return nil, fmt.Errorf("core: checkpoint %s was written by a different configuration (seed %d, G %d, n %d)",
 			ckptEnsembles, ck.Seed, ck.GaneshRuns, ck.N)
@@ -121,9 +161,76 @@ func loadModules(dir string, opt Options, n int) ([][]int, bool, error) {
 	if err != nil || !ok {
 		return nil, false, err
 	}
+	if err := checkVersion(ckptModules, ck.Version); err != nil {
+		return nil, false, err
+	}
 	if ck.Seed != opt.Seed || ck.GaneshRuns != opt.GaneshRuns || ck.N != n {
 		return nil, false, fmt.Errorf("core: checkpoint %s was written by a different configuration (seed %d, G %d, n %d)",
 			ckptModules, ck.Seed, ck.GaneshRuns, ck.N)
 	}
 	return ck.ModuleVars, true, nil
+}
+
+// loadProgress returns the completed module units if a progress manifest is
+// present and consistent with the options and the current module
+// memberships. A unit whose module index or variables do not match the
+// consensus result indicates a foreign manifest and is an error, not a
+// silent partial resume.
+func loadProgress(dir string, opt Options, n int, moduleVars [][]int) (map[int]*module.Unit, error) {
+	var ck progressCheckpoint
+	ok, err := loadCheckpoint(dir, ckptProgress, &ck)
+	if err != nil || !ok {
+		return nil, err
+	}
+	if err := checkVersion(ckptProgress, ck.Version); err != nil {
+		return nil, err
+	}
+	if ck.Seed != opt.Seed || ck.GaneshRuns != opt.GaneshRuns || ck.N != n {
+		return nil, fmt.Errorf("core: checkpoint %s was written by a different configuration (seed %d, G %d, n %d)",
+			ckptProgress, ck.Seed, ck.GaneshRuns, ck.N)
+	}
+	units := make(map[int]*module.Unit, len(ck.Units))
+	for _, u := range ck.Units {
+		if u == nil {
+			return nil, fmt.Errorf("core: checkpoint %s has a null unit", ckptProgress)
+		}
+		if u.Module < 0 || u.Module >= len(moduleVars) {
+			return nil, fmt.Errorf("core: checkpoint %s references module %d of %d",
+				ckptProgress, u.Module, len(moduleVars))
+		}
+		if !equalInts(u.Vars, moduleVars[u.Module]) {
+			return nil, fmt.Errorf("core: checkpoint %s unit for module %d does not match the consensus module members",
+				ckptProgress, u.Module)
+		}
+		if _, dup := units[u.Module]; dup {
+			return nil, fmt.Errorf("core: checkpoint %s has duplicate units for module %d", ckptProgress, u.Module)
+		}
+		units[u.Module] = u
+	}
+	return units, nil
+}
+
+// saveProgress rewrites the whole progress manifest (units sorted by module
+// index) atomically via saveCheckpoint. Manifests are small relative to the
+// work a module represents, so whole-file rewrites keep the format trivial.
+func saveProgress(dir string, opt Options, n int, units map[int]*module.Unit) error {
+	ck := progressCheckpoint{Version: checkpointVersion, Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: n}
+	for _, u := range units {
+		ck.Units = append(ck.Units, u)
+	}
+	sort.Slice(ck.Units, func(i, j int) bool { return ck.Units[i].Module < ck.Units[j].Module })
+	return saveCheckpoint(dir, ckptProgress, &ck)
+}
+
+// equalInts reports whether a and b hold the same sequence.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

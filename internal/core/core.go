@@ -10,7 +10,10 @@
 package core
 
 import (
+	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 
 	"parsimone/internal/comm"
 	"parsimone/internal/consensus"
@@ -72,12 +75,55 @@ type Options struct {
 	// Module.Splits unless those set their own worker counts.
 	Workers int
 	// CheckpointDir, when set, persists each task's output there (as the
-	// paper's pipeline writes intermediate files between tasks, §5.3) and
-	// resumes from whatever checkpoints exist. Because each task draws
-	// from its own numbered PRNG substream, a resumed run learns exactly
-	// the network an uninterrupted run would. In the parallel engine only
-	// rank 0 writes, as in the paper.
+	// paper's pipeline writes intermediate files between tasks, §5.3) plus
+	// a per-module progress manifest inside module learning, and resumes
+	// from whatever checkpoints exist. Because each task — and each module
+	// within task 3 — draws from its own numbered PRNG substream, a
+	// resumed run learns exactly the network an uninterrupted run would.
+	// In the parallel engine only rank 0 writes, as in the paper.
 	CheckpointDir string
+	// MaxRestarts is how many times the supervised parallel driver
+	// (LearnParallel) restarts the world after a rank failure before
+	// giving up, resuming from the newest checkpoints. 0 disables
+	// recovery.
+	MaxRestarts int
+	// Inject, when non-nil, injects a deterministic failure into the run —
+	// the test- and benchmark-facing face of the fault-tolerance layer.
+	// Rejected by the sequential engine (recovery is a property of the
+	// supervised parallel driver; use LearnParallel(1, …) to exercise it
+	// single-rank).
+	Inject *FaultSpec
+}
+
+// FaultSpec describes a deterministic failure to inject. Comm faults
+// address communication operations by (rank, op) — see comm.Fault — and are
+// honored by LearnParallel, which owns the world. Task, when non-empty,
+// crashes rank Rank at a pipeline failpoint: TaskGaneSH or TaskConsensus
+// (immediately after that task's checkpoint is written) or "module:<k>" (as
+// module k's learning starts). The supervised driver clears the spec after
+// the first attempt, so an injected failure fires exactly once.
+type FaultSpec struct {
+	Comm []comm.Fault
+	Task string
+	Rank int
+}
+
+// parseFailpoint splits a FaultSpec.Task into a boundary name ("" when
+// unset) and a module index (-1 for task boundaries).
+func parseFailpoint(s string) (string, int, error) {
+	switch s {
+	case "", TaskGaneSH, TaskConsensus:
+		return s, -1, nil
+	}
+	if rest, ok := strings.CutPrefix(s, "module:"); ok {
+		k, err := strconv.Atoi(rest)
+		if err != nil || k < 0 {
+			return "", -1, fmt.Errorf("core: bad module failpoint %q", s)
+		}
+		return "module", k, nil
+	}
+	return "", -1, fmt.Errorf("core: unknown failpoint %q (want %q, %q, or \"module:<k>\")",
+		s, TaskGaneSH, TaskConsensus)
 }
 
 // DefaultOptions mirrors the paper's minimum-run-time experiment
@@ -115,6 +161,9 @@ type Output struct {
 	Workload *trace.Workload
 	// CommStats aggregates message traffic (parallel engine only).
 	CommStats comm.Stats
+	// Recovery lists the supervised restarts the run survived (empty for
+	// an uninterrupted run; LearnParallel only).
+	Recovery []trace.RecoveryEvent
 }
 
 func (o Options) validate() error {
@@ -129,6 +178,17 @@ func (o Options) validate() error {
 	}
 	if o.Workers < 0 {
 		return fmt.Errorf("core: Workers %d must be ≥ 0", o.Workers)
+	}
+	if o.MaxRestarts < 0 {
+		return fmt.Errorf("core: MaxRestarts %d must be ≥ 0", o.MaxRestarts)
+	}
+	if o.Inject != nil {
+		if _, _, err := parseFailpoint(o.Inject.Task); err != nil {
+			return err
+		}
+		if o.Inject.Rank < 0 {
+			return fmt.Errorf("core: Inject.Rank %d must be ≥ 0", o.Inject.Rank)
+		}
 	}
 	return nil
 }
@@ -177,11 +237,32 @@ type pipeline struct {
 	// ganeshEnsembles returns the variable-partition snapshot of every
 	// co-clustering run, indexed by run.
 	ganeshEnsembles func(opt Options, master *prng.MRG3) [][][]int
-	moduleRun       func(moduleVars [][]int, par module.Params, g *prng.MRG3) *module.Result
+	moduleRun       func(moduleVars [][]int, par module.Params, g *prng.MRG3, prog *module.Progress) (*module.Result, error)
 	// writesCheckpoints is true on the rank that persists checkpoints
 	// (the only rank in the sequential engine; rank 0 in the parallel
 	// one).
 	writesCheckpoints bool
+	// rank identifies this pipeline instance for fault injection (0 in
+	// the sequential engine).
+	rank int
+}
+
+// failpointFn returns the task-boundary crash hook for this rank: a no-op
+// unless opt.Inject targets a failpoint on this rank.
+func (prim pipeline) failpointFn(opt Options) func(task string, mi int) {
+	if opt.Inject == nil || opt.Inject.Task == "" || opt.Inject.Rank != prim.rank {
+		return func(string, int) {}
+	}
+	task, k, err := parseFailpoint(opt.Inject.Task)
+	if err != nil {
+		// validate() already rejected malformed specs.
+		return func(string, int) {}
+	}
+	return func(at string, mi int) {
+		if at == task && mi == k {
+			panic(fmt.Errorf("%w: rank %d at failpoint %q", comm.ErrInjected, prim.rank, opt.Inject.Task))
+		}
+	}
 }
 
 // snapshotOf converts a final variable → cluster assignment into the
@@ -206,6 +287,7 @@ func snapshotOf(assign []int) [][]int {
 
 func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *trace.Timers) (*Output, error) {
 	master := prng.New(opt.Seed)
+	failpoint := prim.failpointFn(opt)
 
 	// Task 1: G GaneSH co-clustering runs, each on its own numbered
 	// substream, so the sampled ensemble is independent of the execution
@@ -229,11 +311,12 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 			ensembles = prim.ganeshEnsembles(opt, master)
 		})
 		if opt.CheckpointDir != "" && prim.writesCheckpoints {
-			ck := ensemblesCheckpoint{Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: q.N, Ensembles: ensembles}
+			ck := ensemblesCheckpoint{Version: checkpointVersion, Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: q.N, Ensembles: ensembles}
 			if err := saveCheckpoint(opt.CheckpointDir, ckptEnsembles, ck); err != nil {
 				return nil, err
 			}
 		}
+		failpoint(TaskGaneSH, -1)
 	}
 
 	// Task 2: consensus clustering, sequential as in the paper (<0.04 %
@@ -247,19 +330,45 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 			moduleVars = consensus.Cluster(q.N, a, opt.Consensus)
 		})
 		if opt.CheckpointDir != "" && prim.writesCheckpoints {
-			ck := modulesCheckpoint{Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: q.N, ModuleVars: moduleVars}
+			ck := modulesCheckpoint{Version: checkpointVersion, Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: q.N, ModuleVars: moduleVars}
 			if err := saveCheckpoint(opt.CheckpointDir, ckptModules, ck); err != nil {
 				return nil, err
 			}
 		}
+		failpoint(TaskConsensus, -1)
 	}
 
-	// Task 3: module learning on its own substream.
+	// Task 3: module learning on its own substream, one numbered
+	// sub-substream per module, checkpointed module-by-module so a crash
+	// here loses at most one module's work.
+	prog := &module.Progress{
+		OnStart: func(mi int) { failpoint("module", mi) },
+	}
+	if opt.CheckpointDir != "" {
+		units, err := loadProgress(opt.CheckpointDir, opt, q.N, moduleVars)
+		if err != nil {
+			return nil, err
+		}
+		if units == nil {
+			units = map[int]*module.Unit{}
+		}
+		prog.Completed = units
+		if prim.writesCheckpoints {
+			prog.OnUnit = func(u *module.Unit) error {
+				units[u.Module] = u
+				return saveProgress(opt.CheckpointDir, opt, q.N, units)
+			}
+		}
+	}
 	var modRes *module.Result
+	var modErr error
 	timers.Time(TaskModules, func() {
 		g := master.Substream(uint64(opt.GaneshRuns + 1))
-		modRes = prim.moduleRun(moduleVars, opt.Module, g)
+		modRes, modErr = prim.moduleRun(moduleVars, opt.Module, g, prog)
 	})
+	if modErr != nil {
+		return nil, modErr
+	}
 
 	// Assemble the network artifact.
 	net := &result.Network{N: d.N, M: d.M, Names: append([]string(nil), d.Names...)}
@@ -291,6 +400,9 @@ func Learn(d *dataset.Data, opt Options) (*Output, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	if opt.Inject != nil {
+		return nil, fmt.Errorf("core: fault injection needs the supervised parallel driver; use LearnParallel(1, …) for a single-rank run")
+	}
 	opt = opt.withWorkers()
 	q, err := prepare(d, opt)
 	if err != nil {
@@ -310,8 +422,8 @@ func Learn(d *dataset.Data, opt Options) (*Output, error) {
 			}
 			return ensembles
 		},
-		moduleRun: func(moduleVars [][]int, par module.Params, g *prng.MRG3) *module.Result {
-			return module.Learn(q, opt.Prior, moduleVars, par, g, wl)
+		moduleRun: func(moduleVars [][]int, par module.Params, g *prng.MRG3, prog *module.Progress) (*module.Result, error) {
+			return module.Learn(q, opt.Prior, moduleVars, par, g, wl, prog)
 		},
 		writesCheckpoints: true,
 	}, timers)
@@ -341,10 +453,11 @@ func LearnWithComm(c *comm.Comm, d *dataset.Data, opt Options) (*Output, error) 
 		ganeshEnsembles: func(opt Options, master *prng.MRG3) [][][]int {
 			return parallelEnsembles(c, q, opt, master)
 		},
-		moduleRun: func(moduleVars [][]int, par module.Params, g *prng.MRG3) *module.Result {
-			return module.LearnParallel(c, q, opt.Prior, moduleVars, par, g)
+		moduleRun: func(moduleVars [][]int, par module.Params, g *prng.MRG3, prog *module.Progress) (*module.Result, error) {
+			return module.LearnParallel(c, q, opt.Prior, moduleVars, par, g, prog)
 		},
 		writesCheckpoints: c.Rank() == 0,
+		rank:              c.Rank(),
 	}, timers)
 	if err != nil {
 		return nil, err
@@ -409,24 +522,54 @@ func parallelEnsembles(c *comm.Comm, q *score.QData, opt Options, master *prng.M
 
 // LearnParallel spins up p ranks, runs the parallel pipeline, and returns
 // rank 0's output with the total message traffic of all ranks.
+//
+// It is also the supervised driver of the fault-tolerance layer: when a
+// rank fails (organically or via Options.Inject), the whole world is torn
+// down MPI-style, the failure is recorded as a recovery event, and — up to
+// Options.MaxRestarts times — a fresh world is started that resumes from
+// the newest checkpoints in Options.CheckpointDir (or from scratch without
+// checkpointing). Determinism (DESIGN §6) makes the recovered network
+// bit-identical to an uninterrupted run's.
 func LearnParallel(p int, d *dataset.Data, opt Options) (*Output, error) {
-	outs := make([]*Output, p)
-	stats, err := comm.Run(p, func(c *comm.Comm) error {
-		out, err := LearnWithComm(c, d, opt)
-		if err != nil {
-			return err
+	attempt := opt
+	var recovery []trace.RecoveryEvent
+	for {
+		outs := make([]*Output, p)
+		var faults []comm.Fault
+		if attempt.Inject != nil {
+			faults = attempt.Inject.Comm
 		}
-		outs[c.Rank()] = out
-		return nil
-	})
-	if err != nil {
-		return nil, err
+		stats, err := comm.RunWithFaults(p, faults, func(c *comm.Comm) error {
+			out, err := LearnWithComm(c, d, attempt)
+			if err != nil {
+				return err
+			}
+			outs[c.Rank()] = out
+			return nil
+		})
+		if err != nil {
+			var re *comm.RankError
+			if len(recovery) >= opt.MaxRestarts || !errors.As(err, &re) {
+				return nil, err
+			}
+			recovery = append(recovery, trace.RecoveryEvent{
+				Attempt:  len(recovery) + 1,
+				Rank:     re.Rank,
+				Panicked: re.Stack != "",
+				Err:      re.Err.Error(),
+			})
+			// Injected faults fire once; an organic failure that repeats
+			// every attempt exhausts MaxRestarts instead of looping.
+			attempt.Inject = nil
+			continue
+		}
+		total := comm.Stats{}
+		for _, s := range stats {
+			total.Add(s)
+		}
+		out := outs[0]
+		out.CommStats = total
+		out.Recovery = recovery
+		return out, nil
 	}
-	total := comm.Stats{}
-	for _, s := range stats {
-		total.Add(s)
-	}
-	out := outs[0]
-	out.CommStats = total
-	return out, nil
 }

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/dataset"
+	"parsimone/internal/result"
+)
+
+// recoveryFixture is shared by the recovery tests: a data set whose consensus
+// produces at least three modules (so the module failpoints 0, mid, last are
+// distinct), plus the uninterrupted reference network.
+func recoveryFixture(t *testing.T) (*dataset.Data, Options, *Output) {
+	t.Helper()
+	d, _ := testData(t, 48, 24, 2)
+	opt := fastOptions(3)
+	want, err := Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nm := len(want.Network.Modules); nm < 3 {
+		t.Fatalf("fixture produced %d modules, need ≥ 3 for distinct module failpoints", nm)
+	}
+	return d, opt, want
+}
+
+// TestFailpointRecoveryBitIdentical is the acceptance property of the
+// fault-tolerance layer: a rank killed at each task boundary and at three
+// module-learning crash points, followed by an automatic supervised restart
+// from checkpoints, yields a network bit-identical to the uninterrupted run
+// for p ∈ {1, 2, 4}.
+func TestFailpointRecoveryBitIdentical(t *testing.T) {
+	d, opt, want := recoveryFixture(t)
+	nm := len(want.Network.Modules)
+	failpoints := []string{
+		TaskGaneSH,
+		TaskConsensus,
+		"module:0",
+		fmt.Sprintf("module:%d", nm/2),
+		fmt.Sprintf("module:%d", nm-1),
+	}
+	for _, p := range []int{1, 2, 4} {
+		for _, fp := range failpoints {
+			t.Run(fmt.Sprintf("p%d_%s", p, fp), func(t *testing.T) {
+				injected := opt
+				injected.CheckpointDir = t.TempDir()
+				injected.MaxRestarts = 1
+				injected.Inject = &FaultSpec{Task: fp, Rank: 0}
+				got, err := LearnParallel(p, d, injected)
+				if err != nil {
+					t.Fatalf("recovery failed: %v", err)
+				}
+				if !result.Equal(got.Network, want.Network) {
+					t.Fatal("recovered network differs from the uninterrupted run")
+				}
+				if len(got.Recovery) != 1 {
+					t.Fatalf("recorded %d recovery events, want 1", len(got.Recovery))
+				}
+				ev := got.Recovery[0]
+				if ev.Rank != 0 || !ev.Panicked || !strings.Contains(ev.Err, fp) {
+					t.Fatalf("recovery event %+v does not describe the injected failpoint %q", ev, fp)
+				}
+			})
+		}
+	}
+}
+
+// TestFailpointRecoveryNonWriterRank: the crashing rank need not be the
+// checkpoint writer — killing the last rank mid-module-learning recovers the
+// same network from rank 0's manifests.
+func TestFailpointRecoveryNonWriterRank(t *testing.T) {
+	d, opt, want := recoveryFixture(t)
+	const p = 4
+	injected := opt
+	injected.CheckpointDir = t.TempDir()
+	injected.MaxRestarts = 1
+	injected.Inject = &FaultSpec{Task: "module:1", Rank: p - 1}
+	got, err := LearnParallel(p, d, injected)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if !result.Equal(got.Network, want.Network) {
+		t.Fatal("recovered network differs from the uninterrupted run")
+	}
+	if len(got.Recovery) != 1 || got.Recovery[0].Rank != p-1 {
+		t.Fatalf("recovery events %+v, want one event from rank %d", got.Recovery, p-1)
+	}
+}
+
+// TestCommFaultRecoveryBitIdentical kills a rank at arbitrary communication
+// operations — a quarter, half, and three quarters through its op sequence,
+// probed from a clean run — and checks the supervised restart still converges
+// on the identical network.
+func TestCommFaultRecoveryBitIdentical(t *testing.T) {
+	d, opt, want := recoveryFixture(t)
+	for _, p := range []int{2, 4} {
+		victim := p - 1
+		probe, err := comm.Run(p, func(c *comm.Comm) error {
+			_, err := LearnWithComm(c, d, opt)
+			return err
+		})
+		if err != nil {
+			t.Fatalf("p=%d probe: %v", p, err)
+		}
+		maxOp := probe[victim].Ops
+		if maxOp < 4 {
+			t.Fatalf("p=%d: probe counted only %d ops on rank %d", p, maxOp, victim)
+		}
+		for _, op := range []int64{maxOp / 4, maxOp / 2, 3 * maxOp / 4} {
+			t.Run(fmt.Sprintf("p%d_op%d", p, op), func(t *testing.T) {
+				injected := opt
+				injected.CheckpointDir = t.TempDir()
+				injected.MaxRestarts = 1
+				injected.Inject = &FaultSpec{Comm: []comm.Fault{
+					{Rank: victim, Op: op, Kind: comm.FaultCrash},
+				}}
+				got, err := LearnParallel(p, d, injected)
+				if err != nil {
+					t.Fatalf("recovery failed: %v", err)
+				}
+				if !result.Equal(got.Network, want.Network) {
+					t.Fatal("recovered network differs from the uninterrupted run")
+				}
+				if len(got.Recovery) != 1 || got.Recovery[0].Rank != victim {
+					t.Fatalf("recovery events %+v, want one crash on rank %d", got.Recovery, victim)
+				}
+			})
+		}
+	}
+}
+
+// TestRecoveryWithoutCheckpoints: restart-from-scratch (no CheckpointDir) is
+// slower but must still reach the identical network — determinism, not
+// persisted state, is what recovery relies on.
+func TestRecoveryWithoutCheckpoints(t *testing.T) {
+	d, opt, want := recoveryFixture(t)
+	injected := opt
+	injected.MaxRestarts = 1
+	injected.Inject = &FaultSpec{Task: "module:0", Rank: 0}
+	got, err := LearnParallel(2, d, injected)
+	if err != nil {
+		t.Fatalf("recovery failed: %v", err)
+	}
+	if !result.Equal(got.Network, want.Network) {
+		t.Fatal("recovered network differs from the uninterrupted run")
+	}
+	if len(got.Recovery) != 1 {
+		t.Fatalf("recorded %d recovery events, want 1", len(got.Recovery))
+	}
+}
+
+// TestMaxRestartsExhausted: with recovery disabled the injected crash is the
+// caller's error, identifiable as injected through the RankError chain.
+func TestMaxRestartsExhausted(t *testing.T) {
+	d, opt, _ := recoveryFixture(t)
+	injected := opt
+	injected.Inject = &FaultSpec{Task: TaskGaneSH, Rank: 0} // MaxRestarts = 0
+	_, err := LearnParallel(2, d, injected)
+	if err == nil {
+		t.Fatal("crash with MaxRestarts=0 returned no error")
+	}
+	if !errors.Is(err, comm.ErrInjected) {
+		t.Fatalf("error %v does not unwrap to ErrInjected", err)
+	}
+}
+
+// TestSequentialRejectsInject: fault injection is a property of the
+// supervised parallel driver, so the sequential engine refuses it instead of
+// silently ignoring the spec.
+func TestSequentialRejectsInject(t *testing.T) {
+	d, _ := testData(t, 20, 16, 1)
+	opt := fastOptions(3)
+	opt.Inject = &FaultSpec{Task: TaskGaneSH}
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("sequential Learn accepted Inject")
+	}
+}
+
+// TestCrossEngineManifestResume: a parallel run killed mid-module-learning
+// with recovery disabled leaves its manifests behind; a later *sequential*
+// run pointed at the same directory must resume from them — including the
+// per-module progress manifest — and learn the identical network. This is
+// the CLI's kill → rerun story.
+func TestCrossEngineManifestResume(t *testing.T) {
+	d, opt, want := recoveryFixture(t)
+	nm := len(want.Network.Modules)
+	dir := t.TempDir()
+	injected := opt
+	injected.CheckpointDir = dir
+	injected.Inject = &FaultSpec{Task: fmt.Sprintf("module:%d", nm-1), Rank: 0}
+	if _, err := LearnParallel(2, d, injected); err == nil {
+		t.Fatal("injected crash with MaxRestarts=0 returned no error")
+	}
+	// The crash happened after nm-1 modules completed, so the progress
+	// manifest must exist and be non-trivial.
+	if fi, err := os.Stat(filepath.Join(dir, ckptProgress)); err != nil || fi.Size() == 0 {
+		t.Fatalf("no progress manifest left behind: %v", err)
+	}
+	resumed := opt
+	resumed.CheckpointDir = dir
+	got, err := Learn(d, resumed)
+	if err != nil {
+		t.Fatalf("sequential resume failed: %v", err)
+	}
+	if !result.Equal(got.Network, want.Network) {
+		t.Fatal("resumed network differs from the uninterrupted run")
+	}
+}
+
+// TestCheckpointVersionRejected: checkpoint files from another format version
+// (including pre-versioning files, which decode as v0) are rejected with an
+// error that names both versions.
+func TestCheckpointVersionRejected(t *testing.T) {
+	d, opt, _ := recoveryFixture(t)
+	t.Run("ensembles_v0", func(t *testing.T) {
+		dir := t.TempDir()
+		v0 := fmt.Sprintf(`{"seed":%d,"ganeshRuns":%d,"n":%d,"ensembles":[]}`, opt.Seed, opt.GaneshRuns, d.N)
+		if err := os.WriteFile(filepath.Join(dir, ckptEnsembles), []byte(v0), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resumed := opt
+		resumed.CheckpointDir = dir
+		_, err := Learn(d, resumed)
+		if err == nil || !strings.Contains(err.Error(), "format v0, expected v2") {
+			t.Fatalf("got %v, want a version-mismatch rejection", err)
+		}
+	})
+	t.Run("progress_v1", func(t *testing.T) {
+		dir := t.TempDir()
+		v1 := fmt.Sprintf(`{"version":1,"seed":%d,"ganeshRuns":%d,"n":%d,"units":[]}`, opt.Seed, opt.GaneshRuns, d.N)
+		if err := os.WriteFile(filepath.Join(dir, ckptProgress), []byte(v1), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resumed := opt
+		resumed.CheckpointDir = dir
+		_, err := Learn(d, resumed)
+		if err == nil || !strings.Contains(err.Error(), "format v1, expected v2") {
+			t.Fatalf("got %v, want a version-mismatch rejection", err)
+		}
+	})
+}
+
+// TestProgressManifestForeignRejected: a manifest whose units disagree with
+// the consensus modules (here: a stale unit for an out-of-range module) is an
+// error, never a silent partial resume.
+func TestProgressManifestForeignRejected(t *testing.T) {
+	d, opt, _ := recoveryFixture(t)
+	dir := t.TempDir()
+	foreign := fmt.Sprintf(`{"version":2,"seed":%d,"ganeshRuns":%d,"n":%d,"units":[{"module":999,"vars":[0]}]}`,
+		opt.Seed, opt.GaneshRuns, d.N)
+	if err := os.WriteFile(filepath.Join(dir, ckptProgress), []byte(foreign), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	resumed := opt
+	resumed.CheckpointDir = dir
+	if _, err := Learn(d, resumed); err == nil || !strings.Contains(err.Error(), "module 999") {
+		t.Fatalf("got %v, want a foreign-manifest rejection", err)
+	}
+}
+
+// TestInjectValidation: malformed fault specs are rejected up front.
+func TestInjectValidation(t *testing.T) {
+	d, _ := testData(t, 20, 16, 1)
+	for _, task := range []string{"modules", "module:", "module:-1", "module:x", "nonsense"} {
+		opt := fastOptions(3)
+		opt.Inject = &FaultSpec{Task: task}
+		if _, err := LearnParallel(2, d, opt); err == nil {
+			t.Errorf("Inject.Task %q accepted, want validation error", task)
+		}
+	}
+	opt := fastOptions(3)
+	opt.Inject = &FaultSpec{Task: TaskGaneSH, Rank: -1}
+	if _, err := LearnParallel(2, d, opt); err == nil {
+		t.Error("negative Inject.Rank accepted")
+	}
+	opt = fastOptions(3)
+	opt.MaxRestarts = -1
+	if _, err := LearnParallel(2, d, opt); err == nil {
+		t.Error("negative MaxRestarts accepted")
+	}
+}

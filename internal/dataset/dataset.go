@@ -174,11 +174,16 @@ func ReadTSV(r io.Reader) (*Data, error) {
 			if err != nil {
 				return nil, fmt.Errorf("dataset: line %d: %v", line, err)
 			}
+			// NaN/Inf parse fine but poison every downstream score;
+			// reject them here, where the line number is still known.
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("dataset: line %d: non-finite value %q", line, f)
+			}
 			values = append(values, v)
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("dataset: read: %w", err)
 	}
 	if len(names) == 0 {
 		return nil, fmt.Errorf("dataset: no data rows")

@@ -1,0 +1,37 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzReadTSV drives the TSV loader with arbitrary byte soup: the loader
+// must return an error for malformed input — ragged rows, empty cells,
+// non-finite values, binary garbage, oversized fields — and must never
+// panic. Whatever it does accept must satisfy every Data invariant,
+// including finiteness, so nothing the loader admits can poison the exact
+// integer statistics downstream.
+func FuzzReadTSV(f *testing.F) {
+	f.Add("gene\tobs0\tobs1\nG0\t1.5\t-2\nG1\t0\t3e-2\n") // well-formed
+	f.Add("G0\t1\t2\nG1\t3\n")                            // ragged row
+	f.Add("G0\t\t2\n")                                    // empty cell
+	f.Add("G0\tNaN\t2\n")                                 // NaN value
+	f.Add("G0\t+Inf\t-Inf\n")                             // infinities
+	f.Add("G0\t1e309\t0\n")                               // overflow to Inf
+	f.Add("G0\t" + strings.Repeat("9", 4096) + "\t1\n")   // huge field
+	f.Add("\n\n\nG0\t1\t2\n\n")                           // blank lines
+	f.Add("name only\n")                                  // no values
+	f.Add("\x00\xff\t\x01\n")                             // binary garbage
+	f.Fuzz(func(t *testing.T, input string) {
+		d, err := ReadTSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ReadTSV accepted input that fails Validate: %v\ninput: %q", verr, input)
+		}
+		if d.N == 0 || d.M == 0 {
+			t.Fatalf("ReadTSV accepted an empty %d×%d data set\ninput: %q", d.N, d.M, input)
+		}
+	})
+}

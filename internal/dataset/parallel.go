@@ -14,6 +14,7 @@ package dataset
 import (
 	"bufio"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
@@ -131,6 +132,9 @@ func parseRow(line string) (parsedRow, error) {
 		v, err := strconv.ParseFloat(f, 64)
 		if err != nil {
 			return parsedRow{}, err
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return parsedRow{}, fmt.Errorf("non-finite value %q", f)
 		}
 		row.Values = append(row.Values, v)
 	}

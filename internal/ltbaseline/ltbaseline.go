@@ -488,20 +488,31 @@ func Learn(d *dataset.Data, opt core.Options) (*core.Output, error) {
 
 	var modules []*module.Module
 	timers.Time(core.TaskModules, func() {
-		e := &gibbs{q: q, pr: opt.Prior, g: master.Substream(uint64(opt.GaneshRuns + 1))}
-		trees := make([][]*tree.Tree, len(moduleVars))
+		gTask := master.Substream(uint64(opt.GaneshRuns + 1))
+		var allW, allU []splits.Assigned
 		for mi, vars := range moduleVars {
+			// One numbered substream per module, mirroring module.learn's
+			// checkpointable per-module units: each module's trees and
+			// splits depend only on its own index and members.
+			e := &gibbs{q: q, pr: opt.Prior, g: gTask.Substream(uint64(mi + 1))}
 			mod := &module.Module{Vars: append([]int(nil), vars...)}
 			for _, clusters := range e.sampleObs(vars, opt.Module.Tree) {
 				mod.Trees = append(mod.Trees, e.buildTree(vars, clusters))
 			}
-			trees[mi] = mod.Trees
 			modules = append(modules, mod)
+			sp := e.learnSplits([][]int{vars}, [][]*tree.Tree{mod.Trees}, opt.Module.Splits)
+			for _, a := range sp.Weighted {
+				a.Module = mi
+				allW = append(allW, a)
+			}
+			for _, a := range sp.Uniform {
+				a.Module = mi
+				allU = append(allU, a)
+			}
 		}
-		sp := e.learnSplits(moduleVars, trees, opt.Module.Splits)
 		for mi, mod := range modules {
-			mod.ParentsWeighted = scoreParents(sp.Weighted, mi)
-			mod.ParentsUniform = scoreParents(sp.Uniform, mi)
+			mod.ParentsWeighted = scoreParents(allW, mi)
+			mod.ParentsUniform = scoreParents(allU, mi)
 		}
 	})
 

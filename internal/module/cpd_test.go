@@ -12,7 +12,7 @@ import (
 func learnForCPD(t *testing.T, seed uint64) (*score.QData, *Result) {
 	t.Helper()
 	q, moduleVars, _ := fixture(t, seed)
-	res := Learn(q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(seed+50), nil)
+	res := mustLearn(t, q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(seed+50), nil)
 	return q, res
 }
 

@@ -61,6 +61,38 @@ type Result struct {
 	Splits splits.Result
 }
 
+// Unit is the self-contained outcome of learning one module: its
+// regression-tree ensemble and its assigned splits. Because every module
+// consumes its own numbered substream (see learn), a Unit depends only on
+// the module's index, member variables, and the run configuration — it is
+// the granularity of mid-task checkpointing, and a resumed Unit never
+// needs recomputing. Parent scores are cheap and derived, so they are
+// recomputed rather than persisted.
+type Unit struct {
+	Module   int               `json:"module"`
+	Vars     []int             `json:"vars"`
+	Trees    []*tree.Tree      `json:"trees"`
+	Weighted []splits.Assigned `json:"weighted"`
+	Uniform  []splits.Assigned `json:"uniform"`
+}
+
+// Progress wires module-granular checkpointing and fault injection into
+// Learn/LearnParallel. All fields are optional; a nil *Progress disables
+// both. In parallel runs every rank must hold the same Completed set, or
+// ranks would disagree on which collectives to enter.
+type Progress struct {
+	// Completed holds previously learned units by module index; they are
+	// reused verbatim instead of being recomputed.
+	Completed map[int]*Unit
+	// OnStart, when non-nil, runs before module mi is learned (not for
+	// resumed units). The fault injector crashes here to model a failure
+	// at a module boundary.
+	OnStart func(mi int)
+	// OnUnit, when non-nil, runs after module mi completes; an error
+	// aborts learning (a checkpoint that cannot be persisted).
+	OnUnit func(u *Unit) error
+}
+
 // learn drives Algorithm 6 against either the sequential or parallel
 // primitives.
 type primitives struct {
@@ -69,29 +101,59 @@ type primitives struct {
 	assign    func(modules [][]int, trees [][]*tree.Tree, par splits.Params, g *prng.MRG3) splits.Result
 }
 
-func learn(moduleVars [][]int, par Params, g *prng.MRG3, prim primitives) *Result {
+func learn(moduleVars [][]int, par Params, g *prng.MRG3, prim primitives, prog *Progress) (*Result, error) {
 	res := &Result{}
-	trees := make([][]*tree.Tree, len(moduleVars))
 	for mi, vars := range moduleVars {
-		mod := &Module{Vars: append([]int(nil), vars...)}
-		samples := prim.sampleObs(vars, par.Tree, g)
-		for _, clusters := range samples {
-			mod.Trees = append(mod.Trees, prim.buildTree(vars, clusters))
+		var u *Unit
+		if prog != nil {
+			u = prog.Completed[mi]
 		}
-		trees[mi] = mod.Trees
-		res.Modules = append(res.Modules, mod)
+		if u == nil {
+			if prog != nil && prog.OnStart != nil {
+				prog.OnStart(mi)
+			}
+			// Each module draws from its own numbered substream, so its
+			// result is independent of which earlier modules were
+			// recomputed vs resumed — the property that makes mid-task
+			// resume bit-exact without persisting PRNG state.
+			gi := g.Substream(uint64(mi + 1))
+			u = &Unit{Module: mi, Vars: append([]int(nil), vars...)}
+			for _, clusters := range prim.sampleObs(vars, par.Tree, gi) {
+				u.Trees = append(u.Trees, prim.buildTree(vars, clusters))
+			}
+			sp := prim.assign([][]int{vars}, [][]*tree.Tree{u.Trees}, par.Splits, gi)
+			u.Weighted = renumber(sp.Weighted, mi)
+			u.Uniform = renumber(sp.Uniform, mi)
+			if prog != nil && prog.OnUnit != nil {
+				if err := prog.OnUnit(u); err != nil {
+					return nil, err
+				}
+			}
+		}
+		res.Modules = append(res.Modules, &Module{Vars: append([]int(nil), u.Vars...), Trees: u.Trees})
+		res.Splits.Weighted = append(res.Splits.Weighted, u.Weighted...)
+		res.Splits.Uniform = append(res.Splits.Uniform, u.Uniform...)
 	}
-	res.Splits = prim.assign(moduleVars, trees, par.Splits, g)
 	for mi, mod := range res.Modules {
 		mod.ParentsWeighted = scoreParents(res.Splits.Weighted, mi)
 		mod.ParentsUniform = scoreParents(res.Splits.Uniform, mi)
 	}
-	return res
+	return res, nil
+}
+
+// renumber rewrites the module index of a single-module assignment (always
+// 0) to the module's global index.
+func renumber(assigned []splits.Assigned, mi int) []splits.Assigned {
+	out := append([]splits.Assigned(nil), assigned...)
+	for i := range out {
+		out[i].Module = mi
+	}
+	return out
 }
 
 // Learn runs the task sequentially. If wl is non-nil, parallelizable work is
 // recorded for scaling analysis.
-func Learn(q *score.QData, pr score.Prior, moduleVars [][]int, par Params, g *prng.MRG3, wl *trace.Workload) *Result {
+func Learn(q *score.QData, pr score.Prior, moduleVars [][]int, par Params, g *prng.MRG3, wl *trace.Workload, prog *Progress) (*Result, error) {
 	return learn(moduleVars, par, g, primitives{
 		sampleObs: func(vars []int, op ganesh.ObsParams, g *prng.MRG3) [][][]int {
 			samples, _ := ganesh.SampleObsClusterings(q, pr, vars, op, g, wl)
@@ -103,12 +165,12 @@ func Learn(q *score.QData, pr score.Prior, moduleVars [][]int, par Params, g *pr
 		assign: func(modules [][]int, trees [][]*tree.Tree, sp splits.Params, g *prng.MRG3) splits.Result {
 			return splits.Learn(q, pr, modules, trees, sp, g, wl)
 		},
-	})
+	}, prog)
 }
 
 // LearnParallel runs the task across c's ranks; results are identical to
 // Learn on every rank for every rank count.
-func LearnParallel(c *comm.Comm, q *score.QData, pr score.Prior, moduleVars [][]int, par Params, g *prng.MRG3) *Result {
+func LearnParallel(c *comm.Comm, q *score.QData, pr score.Prior, moduleVars [][]int, par Params, g *prng.MRG3, prog *Progress) (*Result, error) {
 	return learn(moduleVars, par, g, primitives{
 		sampleObs: func(vars []int, op ganesh.ObsParams, g *prng.MRG3) [][][]int {
 			samples, _ := ganesh.SampleObsClusteringsParallel(c, q, pr, vars, op, g)
@@ -120,7 +182,7 @@ func LearnParallel(c *comm.Comm, q *score.QData, pr score.Prior, moduleVars [][]
 		assign: func(modules [][]int, trees [][]*tree.Tree, sp splits.Params, g *prng.MRG3) splits.Result {
 			return splits.LearnParallel(c, q, pr, modules, trees, sp, g)
 		},
-	})
+	}, prog)
 }
 
 // scoreParents aggregates the chosen splits of one module into parent

@@ -32,6 +32,15 @@ func fixture(t testing.TB, seed uint64) (*score.QData, [][]int, *synth.Truth) {
 	return q, moduleVars, truth
 }
 
+func mustLearn(t testing.TB, q *score.QData, pr score.Prior, moduleVars [][]int, par Params, g *prng.MRG3, wl *trace.Workload) *Result {
+	t.Helper()
+	res, err := Learn(q, pr, moduleVars, par, g, wl, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
 func defaultParams() Params {
 	return Params{
 		Tree:   ganesh.ObsParams{Updates: 3, Burnin: 1},
@@ -41,7 +50,7 @@ func defaultParams() Params {
 
 func TestLearnBasic(t *testing.T) {
 	q, moduleVars, _ := fixture(t, 1)
-	res := Learn(q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(3), nil)
+	res := mustLearn(t, q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(3), nil)
 	if len(res.Modules) != 2 {
 		t.Fatalf("%d modules", len(res.Modules))
 	}
@@ -62,8 +71,8 @@ func TestLearnBasic(t *testing.T) {
 
 func TestLearnDeterministic(t *testing.T) {
 	q, moduleVars, _ := fixture(t, 2)
-	a := Learn(q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(5), nil)
-	b := Learn(q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(5), nil)
+	a := mustLearn(t, q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(5), nil)
+	b := mustLearn(t, q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(5), nil)
 	if !reflect.DeepEqual(a.Splits, b.Splits) {
 		t.Fatal("splits differ across identical runs")
 	}
@@ -80,10 +89,13 @@ func TestParallelMatchesSequential(t *testing.T) {
 	q, moduleVars, _ := fixture(t, 3)
 	pr := score.DefaultPrior()
 	par := defaultParams()
-	want := Learn(q, pr, moduleVars, par, prng.New(7), nil)
+	want := mustLearn(t, q, pr, moduleVars, par, prng.New(7), nil)
 	for _, p := range []int{1, 2, 3, 4, 7} {
 		_, err := comm.Run(p, func(c *comm.Comm) error {
-			got := LearnParallel(c, q, pr, moduleVars, par, prng.New(7))
+			got, err := LearnParallel(c, q, pr, moduleVars, par, prng.New(7), nil)
+			if err != nil {
+				return err
+			}
 			if !reflect.DeepEqual(got.Splits, want.Splits) {
 				t.Errorf("p=%d rank %d: splits differ", p, c.Rank())
 			}
@@ -110,7 +122,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 // regulators.
 func TestTrueRegulatorsRecovered(t *testing.T) {
 	q, moduleVars, truth := fixture(t, 4)
-	res := Learn(q, score.DefaultPrior(), moduleVars,
+	res := mustLearn(t, q, score.DefaultPrior(), moduleVars,
 		Params{
 			Tree:   ganesh.ObsParams{Updates: 4, Burnin: 1},
 			Splits: splits.Params{NumSplits: 4, Candidates: []int{0, 1, 2}},
@@ -135,7 +147,7 @@ func TestTrueRegulatorsRecovered(t *testing.T) {
 
 func TestParentScoresSortedAndBounded(t *testing.T) {
 	q, moduleVars, _ := fixture(t, 5)
-	res := Learn(q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(11), nil)
+	res := mustLearn(t, q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(11), nil)
 	for _, mod := range res.Modules {
 		for i, ps := range mod.ParentsWeighted {
 			if ps.Score < 0 || ps.Score > 1 {
@@ -180,7 +192,7 @@ func TestScoreParentsEmpty(t *testing.T) {
 func TestWorkloadRecorded(t *testing.T) {
 	q, moduleVars, _ := fixture(t, 6)
 	wl := &trace.Workload{}
-	Learn(q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(13), wl)
+	mustLearn(t, q, score.DefaultPrior(), moduleVars, defaultParams(), prng.New(13), wl)
 	if wl.Phase(splits.PhaseAssign) == nil {
 		t.Fatal("split phase not recorded")
 	}
@@ -200,6 +212,6 @@ func BenchmarkLearn(b *testing.B) {
 	par := defaultParams()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Learn(q, pr, moduleVars, par, prng.New(uint64(i)), nil)
+		mustLearn(b, q, pr, moduleVars, par, prng.New(uint64(i)), nil)
 	}
 }

@@ -13,6 +13,8 @@
 package splits
 
 import (
+	"fmt"
+
 	"parsimone/internal/comm"
 	"parsimone/internal/pool"
 	"parsimone/internal/prng"
@@ -80,7 +82,17 @@ func LearnParallelDynamic(c *comm.Comm, q *score.QData, pr score.Prior, modules 
 		next := 0
 		active := c.Size() - 1
 		for active > 0 {
-			_, worker := comm.RecvAny[int](c)
+			var worker int
+			if par.CoordTimeout > 0 {
+				_, w, ok := comm.RecvAnyTimeout[int](c, par.CoordTimeout)
+				if !ok {
+					panic(fmt.Errorf("splits: dynamic coordinator timed out after %v waiting for a work request (%d workers still active)",
+						par.CoordTimeout, active))
+				}
+				worker = w
+			} else {
+				_, worker = comm.RecvAny[int](c)
+			}
 			if next < total {
 				hi := min(next+chunk, total)
 				comm.Send(c, worker, chunkMsg{Lo: next, Hi: hi})

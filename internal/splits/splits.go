@@ -24,6 +24,7 @@ package splits
 import (
 	"math"
 	"sort"
+	"time"
 
 	"parsimone/internal/comm"
 	"parsimone/internal/pool"
@@ -63,6 +64,12 @@ type Params struct {
 	// for every (rank count, W) combination: each candidate draws only
 	// from its own numbered substream and writes only its own slot.
 	Workers int
+	// CoordTimeout, when positive, bounds how long the dynamic
+	// coordinator waits for a worker's next request: a hung worker then
+	// aborts the world (detectably, via the usual RankError) instead of
+	// deadlocking the coordinator in RecvAny forever. 0 waits without
+	// bound.
+	CoordTimeout time.Duration
 }
 
 func (p Params) withDefaults(n int) Params {
@@ -254,6 +261,13 @@ func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 		if ph == nil {
 			ph = wl.AddPhase(PhaseAssign)
 		}
+		// Later calls (module learning records one assignment per module)
+		// continue the segment numbering where the previous call stopped,
+		// so node segments stay globally distinct for the coarse model.
+		segBase := 0
+		if len(ph.Items) > 0 {
+			segBase = ph.Items[len(ph.Items)-1].Seg + 1
+		}
 		// Record items serially in canonical candidate order: the trace is
 		// identical for every worker count, while the per-worker counters
 		// reflect the pool's static chunk deal.
@@ -263,7 +277,7 @@ func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 			for nodes[ni].offset+nodes[ni].count <= ci {
 				ni++
 			}
-			ph.Items = append(ph.Items, trace.Item{Cost: itemCost(s, len(nodes[ni].node.Obs)), Seg: ni})
+			ph.Items = append(ph.Items, trace.Item{Cost: itemCost(s, len(nodes[ni].node.Obs)), Seg: segBase + ni})
 		}
 		ph.AddWorkerCost(st.Cost)
 		ph.Collectives++

@@ -1,0 +1,32 @@
+// Recovery events. The supervised parallel driver (core.LearnParallel)
+// restarts a run after a rank failure, resuming from the newest
+// checkpoints; each restart is recorded as a RecoveryEvent so operators can
+// see what failed and how often — determinism (DESIGN §6) guarantees the
+// recovered network is bit-identical, but the failures themselves must stay
+// visible.
+
+package trace
+
+import "fmt"
+
+// RecoveryEvent records one supervised restart after a rank failure.
+type RecoveryEvent struct {
+	// Attempt is the 1-based restart number that followed this failure.
+	Attempt int
+	// Rank is the rank whose failure aborted the world.
+	Rank int
+	// Panicked is true when the rank panicked (a crash) rather than
+	// returning an error.
+	Panicked bool
+	// Err describes the originating failure.
+	Err string
+}
+
+// String formats the event for run logs.
+func (e RecoveryEvent) String() string {
+	what := "failed"
+	if e.Panicked {
+		what = "crashed"
+	}
+	return fmt.Sprintf("restart %d: rank %d %s: %s", e.Attempt, e.Rank, what, e.Err)
+}

@@ -31,6 +31,7 @@ import (
 	"parsimone/internal/result"
 	"parsimone/internal/score"
 	"parsimone/internal/synth"
+	"parsimone/internal/trace"
 )
 
 // Data is an n×m expression matrix with named variables.
@@ -46,6 +47,15 @@ type Output = core.Output
 // Network is the learned module network artifact with XML/JSON
 // serialization.
 type Network = result.Network
+
+// FaultSpec describes a deterministic failure to inject via Options.Inject —
+// a crash at a pipeline failpoint ("ganesh", "consensus", or "module:<k>")
+// or at a specific communication operation — honored by the supervised
+// LearnParallel driver, which recovers it when Options.MaxRestarts allows.
+type FaultSpec = core.FaultSpec
+
+// RecoveryEvent records one supervised restart in Output.Recovery.
+type RecoveryEvent = trace.RecoveryEvent
 
 // SynthConfig configures the synthetic data generator.
 type SynthConfig = synth.Config
