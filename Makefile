@@ -1,7 +1,8 @@
 # Tier-1 verification (ROADMAP.md): formatting, vet, build, tests, a
 # race-detector pass over the concurrency-bearing packages (the goroutine
-# message-passing runtime, the split-scoring paths, and the intra-rank
-# worker pool), and the fault-injection suite under the race detector.
+# message-passing runtime, the split-scoring paths, the intra-rank worker
+# pool, and the observability sinks), and the fault-injection suite under
+# the race detector.
 
 GO ?= go
 
@@ -25,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/
+	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/ ./internal/obs/
 
 # The fault-injection and crash-recovery suite, race-enabled: injected
 # crashes/delays/drops in comm, the dynamic-coordinator watchdog, and the

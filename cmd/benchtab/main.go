@@ -5,14 +5,19 @@
 //
 // Usage:
 //
-//	benchtab [-quick] [-list] <experiment>...
+//	benchtab [-quick] [-list] [-json] <experiment>...
 //	benchtab all
 //
+// With -json every experiment result is emitted as one machine-readable
+// JSON object per line ({"id", "seconds", "table"}) instead of the aligned
+// text tables, so runs can be diffed and plotted by scripts.
+//
 // Experiments: table1, fig3, fig4, fig5a, fig5b, fig5c, fig6, table2,
-// imbalance, ablation-dist, estimate, determinism.
+// imbalance, ablation-dist, estimate, determinism, obs-overhead, ….
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,11 +26,19 @@ import (
 	"parsimone/internal/bench"
 )
 
+// jsonResult is the machine-readable per-experiment record of -json mode.
+type jsonResult struct {
+	ID      string       `json:"id"`
+	Seconds float64      `json:"seconds"`
+	Table   *bench.Table `json:"table"`
+}
+
 func main() {
 	quick := flag.Bool("quick", false, "use the reduced CI-scale experiment sizes")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	asJSON := flag.Bool("json", false, "emit one JSON object per experiment instead of text tables")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchtab [-quick] [-list] <experiment>...|all\n")
+		fmt.Fprintf(os.Stderr, "usage: benchtab [-quick] [-list] [-json] <experiment>...|all\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v\n", bench.Experiments())
 		flag.PrintDefaults()
 	}
@@ -48,6 +61,7 @@ func main() {
 	if *quick {
 		scale = bench.Quick
 	}
+	enc := json.NewEncoder(os.Stdout)
 	for _, id := range ids {
 		start := time.Now()
 		table, err := bench.Run(id, scale)
@@ -55,7 +69,15 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		if *asJSON {
+			if err := enc.Encode(jsonResult{ID: id, Seconds: elapsed.Seconds(), Table: table}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			continue
+		}
 		table.Fprint(os.Stdout)
-		fmt.Printf("  [%s regenerated in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("  [%s regenerated in %v]\n\n", id, elapsed.Round(time.Millisecond))
 	}
 }

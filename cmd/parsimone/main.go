@@ -16,12 +16,29 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"parsimone/internal/core"
 	"parsimone/internal/dataset"
+	"parsimone/internal/obs"
 	"parsimone/internal/result"
 )
+
+// writeFileWith creates path, streams fn into it, and surfaces close errors
+// (buffered-write failures a deferred close would swallow).
+func writeFileWith(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = fn(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -52,6 +69,10 @@ func run(args []string, stdout io.Writer) error {
 		subM       = fs.Int("m", 0, "use only the first m observations (0 = all)")
 		acyclic    = fs.Bool("acyclic", false, "print the acyclic module graph after learning")
 		quiet      = fs.Bool("quiet", false, "suppress progress output")
+		traceOut   = fs.String("trace-out", "", "write the structured run-event log (JSON lines, rank-merged) to this file")
+		metricsOut = fs.String("metrics-out", "", "write the metrics dump to this file (JSON, or Prometheus text format with a .prom suffix)")
+		pprofCPU   = fs.String("pprof-cpu", "", "write a CPU profile of the learning run to this file")
+		pprofHeap  = fs.String("pprof-heap", "", "write a heap profile taken after learning to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -132,6 +153,26 @@ func run(args []string, stdout io.Writer) error {
 		}
 	}
 
+	opt.Events = *traceOut != ""
+	if *metricsOut != "" {
+		opt.Metrics = obs.NewRegistry()
+	}
+
+	if *pprofCPU != "" {
+		f, err := os.Create(*pprofCPU)
+		if err != nil {
+			return err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("starting CPU profile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+
 	var output *core.Output
 	if *ranks > 1 {
 		logf("learning on %d ranks × %d workers ...", *ranks, *threads)
@@ -147,6 +188,34 @@ func run(args []string, stdout io.Writer) error {
 		logf("recovered: %s", ev)
 	}
 	logf("learned %d modules; task times: %s", len(output.Network.Modules), output.Timers)
+
+	if *traceOut != "" {
+		if err := writeFileWith(*traceOut, func(w io.Writer) error {
+			return obs.WriteJSONL(w, output.Events)
+		}); err != nil {
+			return fmt.Errorf("writing %s: %w", *traceOut, err)
+		}
+		logf("wrote %d run events to %s", len(output.Events), *traceOut)
+	}
+	if *metricsOut != "" {
+		dump := opt.Metrics.WriteJSON
+		if strings.HasSuffix(*metricsOut, ".prom") {
+			dump = opt.Metrics.WritePrometheus
+		}
+		if err := writeFileWith(*metricsOut, dump); err != nil {
+			return fmt.Errorf("writing %s: %w", *metricsOut, err)
+		}
+		logf("wrote metrics to %s", *metricsOut)
+	}
+	if *pprofHeap != "" {
+		if err := writeFileWith(*pprofHeap, func(w io.Writer) error {
+			runtime.GC() // settle allocations so the profile reflects live data
+			return pprof.WriteHeapProfile(w)
+		}); err != nil {
+			return fmt.Errorf("writing %s: %w", *pprofHeap, err)
+		}
+		logf("wrote heap profile to %s", *pprofHeap)
+	}
 
 	f, err := os.Create(*out)
 	if err != nil {

@@ -2,11 +2,13 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"parsimone/internal/obs"
 	"parsimone/internal/result"
 	"parsimone/internal/synth"
 )
@@ -154,6 +156,164 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-in", in, "-max-steps", "8", "-quiet",
 		"-out", filepath.Join(t.TempDir(), "missing-dir", "net.xml")}, new(bytes.Buffer)); err == nil {
 		t.Fatal("unwritable output path accepted")
+	}
+}
+
+// readEvents loads and schema-checks a -trace-out file.
+func readEvents(t *testing.T, path string) []obs.Event {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	evs, err := obs.ReadJSONL(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.Validate(evs); err != nil {
+		t.Fatal(err)
+	}
+	return evs
+}
+
+// TestRunTraceAndMetrics: the acceptance path for the observability layer —
+// a CLI run with -trace-out and -metrics-out must produce a schema-valid
+// event log covering the whole pipeline and a parsable metrics dump, in both
+// JSON and Prometheus form, sequentially and on p ranks.
+func TestRunTraceAndMetrics(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "trace.jsonl")
+	metrics := filepath.Join(dir, "metrics.json")
+	prom := filepath.Join(dir, "metrics.prom")
+	err := run([]string{"-in", in, "-out", filepath.Join(dir, "net.xml"),
+		"-max-steps", "8", "-quiet", "-p", "2", "-threads", "2",
+		"-trace-out", trace, "-metrics-out", metrics}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	evs := readEvents(t, trace)
+	want := map[string]bool{
+		obs.TypeRunStart: false, obs.TypeRunEnd: false,
+		obs.TypeTaskStart: false, obs.TypeTaskEnd: false,
+		obs.TypeModuleStart: false, obs.TypeModuleDone: false,
+		obs.TypePoolCost: false, obs.TypeCommStats: false,
+		obs.TypeConsensus: false,
+	}
+	ranks := map[int]bool{}
+	for _, ev := range evs {
+		if _, ok := want[ev.Type]; ok {
+			want[ev.Type] = true
+		}
+		ranks[ev.Rank] = true
+	}
+	for typ, seen := range want {
+		if !seen {
+			t.Errorf("no %s event in the CLI trace", typ)
+		}
+	}
+	if !ranks[0] || !ranks[1] {
+		t.Fatalf("merged trace missing a rank: %v", ranks)
+	}
+	if evs[0].Type != obs.TypeRunStart || evs[0].Run.Ranks != 2 || evs[0].Run.Workers != 2 {
+		t.Fatalf("bad run.start: %+v", evs[0])
+	}
+
+	data, err := os.ReadFile(metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump []map[string]any
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("metrics dump not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, m := range dump {
+		names[m["name"].(string)] = true
+	}
+	for _, name := range []string{"pool_cost_total", "pool_items_total", "ganesh_decisions_total", "comm_sends_total"} {
+		if !names[name] {
+			t.Errorf("metrics dump missing %s (have %v)", name, names)
+		}
+	}
+
+	// Prometheus text form via the .prom suffix, sequential engine.
+	err = run([]string{"-in", in, "-out", filepath.Join(dir, "net2.xml"),
+		"-max-steps", "8", "-quiet", "-metrics-out", prom}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	text, err := os.ReadFile(prom)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(text, []byte("# TYPE pool_cost_total counter")) {
+		t.Fatalf("not Prometheus text format:\n%s", text[:min(len(text), 300)])
+	}
+}
+
+// TestRunTraceDeterministic: two same-seed CLI runs must produce identical
+// event streams modulo wall-clock fields, and attaching the sinks must not
+// change the learned network.
+func TestRunTraceDeterministic(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	base := []string{"-in", in, "-max-steps", "8", "-quiet", "-p", "2", "-threads", "2"}
+	var traces [2][]obs.Event
+	for i := range traces {
+		tr := filepath.Join(dir, "trace"+strings.Repeat("x", i)+".jsonl")
+		args := append(append([]string{}, base...),
+			"-out", filepath.Join(dir, "net"+strings.Repeat("x", i)+".xml"), "-trace-out", tr)
+		if err := run(args, new(bytes.Buffer)); err != nil {
+			t.Fatal(err)
+		}
+		traces[i] = readEvents(t, tr)
+	}
+	if err := obs.DiffCanonical(traces[0], traces[1]); err != nil {
+		t.Fatal(err)
+	}
+	// Result invisibility: same network with and without the sinks.
+	if err := run(append(append([]string{}, base...),
+		"-out", filepath.Join(dir, "bare.xml")), new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	read := func(name string) *result.Network {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		net, err := result.ReadXML(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	if !result.Equal(read("net.xml"), read("bare.xml")) {
+		t.Fatal("attaching observability sinks changed the learned network")
+	}
+}
+
+// TestRunPprofFlags: the profiling flags must produce non-empty pprof files.
+func TestRunPprofFlags(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pb.gz")
+	heap := filepath.Join(dir, "heap.pb.gz")
+	err := run([]string{"-in", in, "-out", filepath.Join(dir, "net.xml"),
+		"-max-steps", "8", "-quiet", "-pprof-cpu", cpu, "-pprof-heap", heap}, new(bytes.Buffer))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, heap} {
+		fi, err := os.Stat(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fi.Size() == 0 {
+			t.Fatalf("%s is empty", p)
+		}
 	}
 }
 

@@ -40,12 +40,13 @@ const (
 	Full
 )
 
-// Table is a printable experiment result.
+// Table is a printable experiment result. The JSON tags are the benchtab
+// -json machine-readable schema.
 type Table struct {
-	Title  string
-	Header []string
-	Rows   [][]string
-	Notes  []string
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -175,7 +176,7 @@ func Experiments() []string {
 		"table1", "fig3", "fig4", "fig5a", "fig5b", "fig5c",
 		"fig6", "table2", "imbalance", "ablation-dist", "threads",
 		"estimate", "determinism", "compare-genomica", "crossval",
-		"comm-volume", "recovery",
+		"comm-volume", "recovery", "obs-overhead",
 	}
 }
 
@@ -216,6 +217,8 @@ func Run(id string, scale Scale) (*Table, error) {
 		return CommVolume(scale), nil
 	case "recovery":
 		return Recovery(scale), nil
+	case "obs-overhead":
+		return ObsOverhead(scale), nil
 	}
 	return nil, fmt.Errorf("bench: unknown experiment %q (have %s)", id, strings.Join(Experiments(), ", "))
 }

@@ -1,0 +1,72 @@
+// The observability-overhead experiment: wall-clock cost of attaching the
+// run-event recorder and metrics registry (internal/obs) to the learning
+// engines. The sinks are result-invisible by contract (DESIGN.md §9) — this
+// experiment measures that they are also cheap, and double-checks the
+// bit-identity of the learned network with and without them.
+
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"parsimone/internal/core"
+	"parsimone/internal/obs"
+	"parsimone/internal/result"
+)
+
+// obsRun measures one engine configuration with and without the sinks.
+func obsRun(label string, learn func(opt core.Options) *core.Output, t *Table) {
+	bare := runOptions(7)
+	start := time.Now()
+	want := learn(bare)
+	bareDur := time.Since(start)
+
+	instr := runOptions(7)
+	instr.Events = true
+	instr.Metrics = obs.NewRegistry()
+	start = time.Now()
+	got := learn(instr)
+	instrDur := time.Since(start)
+
+	overhead := float64(instrDur-bareDur) / float64(bareDur) * 100
+	t.AddRow(
+		label,
+		fmtDur(bareDur),
+		fmtDur(instrDur),
+		fmt.Sprintf("%+.1f%%", overhead),
+		fmt.Sprint(len(got.Events)),
+		fmt.Sprint(result.Equal(got.Network, want.Network)),
+	)
+}
+
+// ObsOverhead measures the event/metrics sinks on the table1-shaped workload
+// for the sequential engine and a small rank count.
+func ObsOverhead(scale Scale) *Table {
+	ns, ms := table1Sizes(scale)
+	n, m := ns[len(ns)-1], ms[len(ms)-1]
+	t := &Table{
+		Title:  fmt.Sprintf("Observability overhead — events + metrics sinks (n=%d, m=%d)", n, m),
+		Header: []string{"engine", "bare", "instrumented", "overhead", "events", "identical"},
+		Notes: []string{
+			"sinks never consume PRNG draws; 'identical' is the §4.2 bit-identity check with sinks attached",
+			"single-measurement wall clocks — small negative overheads are noise",
+		},
+	}
+	d := subsetData(n, m, 42, n, m)
+	obsRun("sequential", func(opt core.Options) *core.Output {
+		out, err := core.Learn(d, opt)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}, t)
+	obsRun("p=2", func(opt core.Options) *core.Output {
+		out, err := core.LearnParallel(2, d, opt)
+		if err != nil {
+			panic(err)
+		}
+		return out
+	}, t)
+	return t
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 // sizes exercised by most collective tests, including non-powers of two.
@@ -484,6 +485,95 @@ func TestRecvAnyDrainsPendingFirst(t *testing.T) {
 			if from != 1 || v != "one" {
 				return fmt.Errorf("RecvAny got %d/%q", from, v)
 			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnyTimeoutDrainsPendingFirst(t *testing.T) {
+	// A typed message already sitting in the pending stash must satisfy
+	// RecvAnyTimeout immediately — no fresh arrival, no timeout wait.
+	_, err := Run(3, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			Send(c, 0, 42)
+			Send(c, 2, "go") // sequence rank 2 after the int is in flight
+		case 2:
+			Recv[string](c, 1)
+			Send(c, 0, "sync")
+		case 0:
+			// Receiving rank 2's string first forces rank 1's int into
+			// the stash (rank 1's send happens-before rank 2's).
+			if got := Recv[string](c, 2); got != "sync" {
+				return fmt.Errorf("from 2: %q", got)
+			}
+			from, v, ok := RecvAnyTimeout[int](c, time.Minute)
+			if !ok || from != 1 || v != 42 {
+				return fmt.Errorf("RecvAnyTimeout got %d/%d/%v, want 1/42/true", from, v, ok)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnyTimeoutStashesMixedTypes(t *testing.T) {
+	// A coordinator draining typed requests must stash interleaved
+	// messages of other types and leave them deliverable to later typed
+	// Recv calls in arrival order.
+	_, err := Run(3, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			Send(c, 0, "late-a")
+			Send(c, 0, 7)
+			Send(c, 2, "go")
+		case 2:
+			Recv[string](c, 1)
+			Send(c, 0, 9)
+		case 0:
+			from, v, ok := RecvAnyTimeout[int](c, time.Minute)
+			if !ok || from != 1 || v != 7 {
+				return fmt.Errorf("first int: %d/%d/%v", from, v, ok)
+			}
+			from, v, ok = RecvAnyTimeout[int](c, time.Minute)
+			if !ok || from != 2 || v != 9 {
+				return fmt.Errorf("second int: %d/%d/%v", from, v, ok)
+			}
+			if got := Recv[string](c, 1); got != "late-a" {
+				return fmt.Errorf("stashed string lost: %q", got)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvAnyTimeoutTimesOutWhileStashing(t *testing.T) {
+	// Only wrong-type messages arrive: the call must report a timeout
+	// with the (-1, zero, false) contract, and the messages it stashed
+	// while waiting must still be delivered by later typed Recvs.
+	_, err := Run(2, func(c *Comm) error {
+		if c.Rank() == 1 {
+			Send(c, 0, "kept")
+			Send(c, 0, "done")
+			return nil
+		}
+		from, v, ok := RecvAnyTimeout[int](c, 100*time.Millisecond)
+		if ok || from != -1 || v != 0 {
+			return fmt.Errorf("want timeout (-1, 0, false), got %d/%d/%v", from, v, ok)
+		}
+		if a := Recv[string](c, 1); a != "kept" {
+			return fmt.Errorf("first stashed string: %q", a)
+		}
+		if b := Recv[string](c, 1); b != "done" {
+			return fmt.Errorf("second stashed string: %q", b)
 		}
 		return nil
 	})

@@ -14,43 +14,64 @@
 package consensus
 
 import (
+	"fmt"
 	"sort"
 
 	"parsimone/internal/matrix"
+	"parsimone/internal/obs"
 )
 
 // Params configures consensus clustering.
+//
+// # Zero-value sentinels
+//
+// Every zero-valued field selects its documented default — an explicit zero
+// cannot be configured. Count fields (MinClusterSize, MaxIter) and the
+// positivity-requiring knobs (SupportFrac, Tol) treat any value ≤ 0 as "use
+// the default". MinEigenvalue is different: 0 selects the default 1.0, but
+// a *negative* value is honored and disables the eigenvalue stopping rule —
+// peeling then continues until an extraction comes up short (the dominant
+// eigenvalue of a non-negative matrix is never below a negative cutoff).
+// TestParamsWithDefaults pins all of this.
 type Params struct {
 	// MinClusterSize is the smallest cluster kept as a module; smaller
-	// extractions stop the peeling. Default 2.
+	// extractions stop the peeling. Values ≤ 0 select the default, 2.
 	MinClusterSize int
 	// MinEigenvalue stops peeling once the dominant eigenvalue of the
-	// remaining matrix drops below it. Default 1.0 (an isolated variable
-	// contributes exactly 1 through its unit diagonal).
+	// remaining matrix drops below it. 0 selects the default, 1.0 (an
+	// isolated variable contributes exactly 1 through its unit diagonal);
+	// a negative value disables this stopping rule.
 	MinEigenvalue float64
 	// SupportFrac is the eigenvector support cut: only variables whose
 	// Perron-vector component is at least SupportFrac times the largest
-	// component are candidates for the extracted cluster. Default 0.5.
+	// component are candidates for the extracted cluster. Values ≤ 0
+	// select the default, 0.5.
 	SupportFrac float64
-	// MaxIter and Tol control the power iteration. Defaults 1000, 1e-10.
+	// MaxIter and Tol control the power iteration. Values ≤ 0 select the
+	// defaults, 1000 and 1e-10.
 	MaxIter int
 	Tol     float64
+	// Hooks receives one consensus.extract event per peeling step (nil
+	// disables). The parallel pipeline attaches it on rank 0 only: the
+	// task is replicated identically on every rank, so a single source
+	// keeps the merged event stream free of p-fold duplicates.
+	Hooks *obs.Hooks
 }
 
 func (p Params) withDefaults() Params {
-	if p.MinClusterSize == 0 {
+	if p.MinClusterSize <= 0 {
 		p.MinClusterSize = 2
 	}
 	if p.MinEigenvalue == 0 {
 		p.MinEigenvalue = 1.0
 	}
-	if p.SupportFrac == 0 {
+	if p.SupportFrac <= 0 {
 		p.SupportFrac = 0.5
 	}
-	if p.MaxIter == 0 {
+	if p.MaxIter <= 0 {
 		p.MaxIter = 1000
 	}
-	if p.Tol == 0 {
+	if p.Tol <= 0 {
 		p.Tol = 1e-10
 	}
 	return p
@@ -61,11 +82,18 @@ func (p Params) withDefaults() Params {
 // the clusters, each sorted ascending, ordered by extraction (densest
 // first). Variables not in any returned cluster are not part of any module,
 // matching Lemon-Tree's behaviour of dropping weakly co-clustered genes.
-func Cluster(n int, a []float64, par Params) [][]int {
+//
+// A malformed matrix (wrong size, NaN, asymmetric — matrix.FromDense's
+// checks) and a power iteration that fails to converge within MaxIter both
+// return an error; the clusters extracted before a convergence failure are
+// returned alongside it. Earlier versions panicked on the former and
+// silently used the unconverged eigenpair for the latter, which could peel
+// a garbage cluster without any trace of the failure.
+func Cluster(n int, a []float64, par Params) ([][]int, error) {
 	par = par.withDefaults()
 	sym, err := matrix.FromDense(n, a)
 	if err != nil {
-		panic("consensus: " + err.Error())
+		return nil, fmt.Errorf("consensus: %w", err)
 	}
 	remaining := make([]int, n)
 	for i := range remaining {
@@ -75,11 +103,27 @@ func Cluster(n int, a []float64, par Params) [][]int {
 	for len(remaining) >= par.MinClusterSize {
 		sub := sym.Submatrix(remaining)
 		res := matrix.PowerIteration(sub, par.MaxIter, par.Tol)
-		if res.Value < par.MinEigenvalue {
-			break
+		if !res.Converged {
+			par.Hooks.Emit(obs.Event{Type: obs.TypeConsensus, Consensus: &obs.ConsensusInfo{
+				Remaining: len(remaining), Eigenvalue: res.Value, Iters: res.Iters,
+			}})
+			return clusters, fmt.Errorf(
+				"consensus: power iteration did not converge within %d iterations on %d remaining variables (eigenvalue estimate %g, tol %g)",
+				par.MaxIter, len(remaining), res.Value, par.Tol)
 		}
-		members := extract(sub, res.Vector, par.MinClusterSize, par.SupportFrac)
-		if len(members) < par.MinClusterSize {
+		extracted := 0
+		var members []int
+		if res.Value >= par.MinEigenvalue {
+			members = extract(sub, res.Vector, par.MinClusterSize, par.SupportFrac)
+			if len(members) >= par.MinClusterSize {
+				extracted = len(members)
+			}
+		}
+		par.Hooks.Emit(obs.Event{Type: obs.TypeConsensus, Consensus: &obs.ConsensusInfo{
+			Remaining: len(remaining), Eigenvalue: res.Value, Iters: res.Iters,
+			Converged: true, Extracted: extracted,
+		}})
+		if extracted == 0 {
 			break
 		}
 		cluster := make([]int, len(members))
@@ -98,7 +142,7 @@ func Cluster(n int, a []float64, par Params) [][]int {
 		}
 		remaining = rest
 	}
-	return clusters
+	return clusters, nil
 }
 
 // extract selects the cluster indicated by the dominant eigenvector v of the

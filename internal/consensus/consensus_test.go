@@ -2,13 +2,25 @@ package consensus
 
 import (
 	"reflect"
+	"strings"
 	"testing"
 
 	"parsimone/internal/ganesh"
+	"parsimone/internal/obs"
 	"parsimone/internal/prng"
 	"parsimone/internal/score"
 	"parsimone/internal/synth"
 )
+
+// mustCluster fails the test on any Cluster error.
+func mustCluster(t *testing.T, n int, a []float64, par Params) [][]int {
+	t.Helper()
+	got, err := Cluster(n, a, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
 
 // block builds a co-occurrence matrix with perfect blocks.
 func block(n int, groups [][]int) []float64 {
@@ -28,7 +40,7 @@ func block(n int, groups [][]int) []float64 {
 
 func TestClusterPerfectBlocks(t *testing.T) {
 	a := block(7, [][]int{{0, 1, 2, 3}, {4, 5, 6}})
-	got := Cluster(7, a, Params{})
+	got := mustCluster(t, 7, a, Params{})
 	want := [][]int{{0, 1, 2, 3}, {4, 5, 6}}
 	if !reflect.DeepEqual(got, want) {
 		t.Fatalf("got %v, want %v", got, want)
@@ -39,7 +51,7 @@ func TestClusterExtractsDensestFirst(t *testing.T) {
 	// The larger clique has the larger Perron value and must come first
 	// even when its indices come later.
 	a := block(9, [][]int{{0, 1}, {2, 3, 4, 5, 6}})
-	got := Cluster(9, a, Params{})
+	got := mustCluster(t, 9, a, Params{})
 	if len(got) < 2 {
 		t.Fatalf("got %v", got)
 	}
@@ -71,7 +83,7 @@ func TestClusterNoisyBlocks(t *testing.T) {
 			}
 		}
 	}
-	got := Cluster(n, a, Params{})
+	got := mustCluster(t, n, a, Params{})
 	if len(got) < 2 {
 		t.Fatalf("got %v", got)
 	}
@@ -82,7 +94,7 @@ func TestClusterNoisyBlocks(t *testing.T) {
 
 func TestClusterEmptyMatrix(t *testing.T) {
 	a := make([]float64, 16) // all zero — no co-occurrence at all
-	got := Cluster(4, a, Params{})
+	got := mustCluster(t, 4, a, Params{})
 	if len(got) != 0 {
 		t.Fatalf("zero matrix produced clusters: %v", got)
 	}
@@ -96,7 +108,7 @@ func TestClusterSingletonsNotEmitted(t *testing.T) {
 	for i := 0; i < n; i++ {
 		a[i*n+i] = 1
 	}
-	got := Cluster(n, a, Params{})
+	got := mustCluster(t, n, a, Params{})
 	if len(got) != 0 {
 		t.Fatalf("identity matrix produced clusters: %v", got)
 	}
@@ -104,7 +116,7 @@ func TestClusterSingletonsNotEmitted(t *testing.T) {
 
 func TestClusterMinSizeRespected(t *testing.T) {
 	a := block(6, [][]int{{0, 1, 2, 3}, {4, 5}})
-	got := Cluster(6, a, Params{MinClusterSize: 3})
+	got := mustCluster(t, 6, a, Params{MinClusterSize: 3})
 	for _, c := range got {
 		if len(c) < 3 {
 			t.Fatalf("cluster %v below min size", c)
@@ -114,22 +126,83 @@ func TestClusterMinSizeRespected(t *testing.T) {
 
 func TestClusterDeterministic(t *testing.T) {
 	a := block(10, [][]int{{0, 3, 5}, {1, 2, 8}, {4, 6, 7, 9}})
-	x := Cluster(10, a, Params{})
-	y := Cluster(10, a, Params{})
+	x := mustCluster(t, 10, a, Params{})
+	y := mustCluster(t, 10, a, Params{})
 	if !reflect.DeepEqual(x, y) {
 		t.Fatal("consensus clustering not deterministic")
 	}
 }
 
-func TestClusterPanicsOnAsymmetric(t *testing.T) {
+func TestClusterErrorsOnAsymmetric(t *testing.T) {
 	a := make([]float64, 4)
 	a[1] = 0.5 // (0,1) without (1,0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("asymmetric matrix accepted")
+	if _, err := Cluster(2, a, Params{}); err == nil {
+		t.Fatal("asymmetric matrix accepted")
+	}
+}
+
+func TestClusterErrorsOnWrongSize(t *testing.T) {
+	if _, err := Cluster(3, make([]float64, 4), Params{}); err == nil {
+		t.Fatal("wrong-size matrix accepted")
+	}
+}
+
+func TestClusterNonConvergenceSurfaced(t *testing.T) {
+	// A matrix whose dominant eigenvector needs more than one power step,
+	// with MaxIter 1: the old code silently peeled a cluster from the
+	// unconverged eigenpair; now the failure is an error plus an event.
+	a := block(8, [][]int{{0, 1, 2}, {3, 4, 5}})
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if i != j && a[i*8+j] == 0 {
+				a[i*8+j] = 0.05
+			}
 		}
-	}()
-	Cluster(2, a, Params{})
+	}
+	rec := obs.NewRecorder(0)
+	_, err := Cluster(8, a, Params{MaxIter: 1, Hooks: obs.NewHooks(rec, nil)})
+	if err == nil || !strings.Contains(err.Error(), "did not converge") {
+		t.Fatalf("non-convergence not surfaced: %v", err)
+	}
+	evs := rec.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events emitted")
+	}
+	last := evs[len(evs)-1]
+	if last.Type != obs.TypeConsensus || last.Consensus.Converged {
+		t.Fatalf("last event should record the unconverged step: %+v", last)
+	}
+	if err := obs.Validate(evs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterEmitsExtractionEvents(t *testing.T) {
+	a := block(7, [][]int{{0, 1, 2, 3}, {4, 5, 6}})
+	rec := obs.NewRecorder(0)
+	got, err := Cluster(7, a, Params{Hooks: obs.NewHooks(rec, nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+	evs := rec.Events()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want one per peeling step: %+v", len(evs), evs)
+	}
+	if evs[0].Consensus.Extracted != 4 || evs[1].Consensus.Extracted != 3 {
+		t.Fatalf("extraction sizes wrong: %+v", evs)
+	}
+	for _, ev := range evs {
+		if !ev.Consensus.Converged || ev.Consensus.Iters <= 0 || ev.Consensus.Eigenvalue <= 0 {
+			t.Fatalf("bad extraction event: %+v", ev)
+		}
+	}
+	// Hooks never change the clusters themselves.
+	if bare := mustCluster(t, 7, a, Params{}); !reflect.DeepEqual(bare, got) {
+		t.Fatalf("hooks changed the result: %v vs %v", bare, got)
+	}
 }
 
 // TestEndToEndWithGaneSH drives the real pipeline front half: sample
@@ -151,7 +224,7 @@ func TestEndToEndWithGaneSH(t *testing.T) {
 		ensembles = append(ensembles, cc.VarSnapshot())
 	}
 	a := ganesh.CoOccurrence(q.N, ensembles, 0.35)
-	modules := Cluster(q.N, a, Params{})
+	modules := mustCluster(t, q.N, a, Params{})
 	if len(modules) == 0 {
 		t.Fatal("no consensus modules found")
 	}
@@ -176,9 +249,55 @@ func TestEndToEndWithGaneSH(t *testing.T) {
 	}
 }
 
-func TestParamsDefaults(t *testing.T) {
-	p := Params{}.withDefaults()
-	if p.MinClusterSize != 2 || p.MinEigenvalue != 1.0 || p.MaxIter != 1000 || p.Tol != 1e-10 {
-		t.Fatalf("defaults: %+v", p)
+// TestParamsWithDefaults pins the zero-value sentinel semantics documented
+// on Params: zero and negative counts select defaults, negative
+// MinEigenvalue is honored (disables the eigenvalue stop), negative
+// Tol/SupportFrac fall back to defaults (they must be positive).
+func TestParamsWithDefaults(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Params
+		want Params
+	}{
+		{"zero value", Params{},
+			Params{MinClusterSize: 2, MinEigenvalue: 1.0, SupportFrac: 0.5, MaxIter: 1000, Tol: 1e-10}},
+		{"negative counts fall back", Params{MinClusterSize: -3, MaxIter: -1},
+			Params{MinClusterSize: 2, MinEigenvalue: 1.0, SupportFrac: 0.5, MaxIter: 1000, Tol: 1e-10}},
+		{"negative eigenvalue honored", Params{MinEigenvalue: -1},
+			Params{MinClusterSize: 2, MinEigenvalue: -1, SupportFrac: 0.5, MaxIter: 1000, Tol: 1e-10}},
+		{"non-positive tol and support fall back", Params{Tol: -1e-3, SupportFrac: -0.1},
+			Params{MinClusterSize: 2, MinEigenvalue: 1.0, SupportFrac: 0.5, MaxIter: 1000, Tol: 1e-10}},
+		{"explicit values kept", Params{MinClusterSize: 5, MinEigenvalue: 2, SupportFrac: 0.7, MaxIter: 10, Tol: 1e-6},
+			Params{MinClusterSize: 5, MinEigenvalue: 2, SupportFrac: 0.7, MaxIter: 10, Tol: 1e-6}},
+	}
+	for _, tc := range cases {
+		if got := tc.in.withDefaults(); !reflect.DeepEqual(got, tc.want) {
+			t.Errorf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestClusterNegativeMinEigenvalueDisablesStop pins the documented
+// "disabled" semantics: with MinEigenvalue < 0 peeling continues past the
+// default cutoff and stops only when an extraction comes up short.
+func TestClusterNegativeMinEigenvalueDisablesStop(t *testing.T) {
+	// Two weak blocks whose dominant eigenvalues sit below the default
+	// cutoff of 1.0 once the diagonal is down-weighted.
+	n := 4
+	a := make([]float64, n*n)
+	for i := 0; i < n; i++ {
+		a[i*n+i] = 0.3
+	}
+	a[0*n+1], a[1*n+0] = 0.3, 0.3
+	a[2*n+3], a[3*n+2] = 0.3, 0.3
+	if got := mustCluster(t, n, a, Params{}); len(got) != 0 {
+		t.Fatalf("default cutoff should reject weak blocks, got %v", got)
+	}
+	got, err := Cluster(n, a, Params{MinEigenvalue: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("disabled eigenvalue stop still rejected every cluster")
 	}
 }

@@ -20,6 +20,7 @@ import (
 	"parsimone/internal/dataset"
 	"parsimone/internal/ganesh"
 	"parsimone/internal/module"
+	"parsimone/internal/obs"
 	"parsimone/internal/prng"
 	"parsimone/internal/result"
 	"parsimone/internal/score"
@@ -93,6 +94,17 @@ type Options struct {
 	// supervised parallel driver; use LearnParallel(1, …) to exercise it
 	// single-rank).
 	Inject *FaultSpec
+	// Events enables structured run-event recording (internal/obs). Each
+	// rank records into its own recorder; the streams are gathered to rank
+	// 0, merged deterministically, and returned in Output.Events. Recording
+	// is result-invisible: the learned network is bit-identical with and
+	// without it.
+	Events bool
+	// Metrics, when non-nil, receives counters, gauges, and histograms
+	// from every layer of the run (comm traffic, pool costs, split steps,
+	// imbalance). The registry is concurrency-safe and shared by all ranks
+	// of an in-process world. Like Events, result-invisible.
+	Metrics *obs.Registry
 }
 
 // FaultSpec describes a deterministic failure to inject. Comm faults
@@ -164,6 +176,9 @@ type Output struct {
 	// Recovery lists the supervised restarts the run survived (empty for
 	// an uninterrupted run; LearnParallel only).
 	Recovery []trace.RecoveryEvent
+	// Events is the merged structured event stream (Options.Events; on
+	// rank 0 / the sequential engine only — other ranks return nil).
+	Events []obs.Event
 }
 
 func (o Options) validate() error {
@@ -191,6 +206,24 @@ func (o Options) validate() error {
 		}
 	}
 	return nil
+}
+
+// withHooks threads this rank's observability hooks into every task's
+// params. Per-rank data (pool costs, imbalance) is emitted by every rank;
+// single-sourced task data (the consensus peeling trail, replicated
+// identically everywhere) attaches only where root is true — rank 0 or the
+// sequential engine.
+func (o Options) withHooks(h *obs.Hooks, root bool) Options {
+	if h == nil {
+		return o
+	}
+	o.Ganesh.Hooks = h
+	o.Module.Tree.Hooks = h
+	o.Module.Splits.Hooks = h
+	if root {
+		o.Consensus.Hooks = h
+	}
+	return o
 }
 
 // withWorkers threads the hybrid worker knob into every task's params,
@@ -240,11 +273,16 @@ type pipeline struct {
 	moduleRun       func(moduleVars [][]int, par module.Params, g *prng.MRG3, prog *module.Progress) (*module.Result, error)
 	// writesCheckpoints is true on the rank that persists checkpoints
 	// (the only rank in the sequential engine; rank 0 in the parallel
-	// one).
+	// one). Task-level events are emitted from the same place, keeping
+	// the merged stream single-sourced.
 	writesCheckpoints bool
 	// rank identifies this pipeline instance for fault injection (0 in
 	// the sequential engine).
 	rank int
+	// hooks is this rank's observability sink (nil when disabled); ranks
+	// the world size, for run.start/run.end events.
+	hooks *obs.Hooks
+	ranks int
 }
 
 // failpointFn returns the task-boundary crash hook for this rank: a no-op
@@ -289,6 +327,28 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 	master := prng.New(opt.Seed)
 	failpoint := prim.failpointFn(opt)
 
+	// Task-level events are single-sourced from the checkpoint-writing
+	// rank; per-rank data (pool costs, comm stats) is emitted elsewhere
+	// through the hooks each engine carries.
+	emit := func(ev obs.Event) {
+		if prim.writesCheckpoints {
+			prim.hooks.Emit(ev)
+		}
+	}
+	taskEvent := func(typ, name string) {
+		ev := obs.Event{Type: typ, Task: &obs.TaskInfo{Name: name}}
+		if typ == obs.TypeTaskEnd {
+			ev.DurNS = int64(timers.Get(name))
+		}
+		emit(ev)
+	}
+	checkpointEvent := func(file string) {
+		emit(obs.Event{Type: obs.TypeCheckpoint, Checkpoint: &obs.CheckpointInfo{File: file}})
+	}
+	emit(obs.Event{Type: obs.TypeRunStart, Run: &obs.RunInfo{
+		Ranks: prim.ranks, Workers: opt.Workers, Seed: opt.Seed, N: q.N, M: q.M,
+	}})
+
 	// Task 1: G GaneSH co-clustering runs, each on its own numbered
 	// substream, so the sampled ensemble is independent of the execution
 	// layout (all ranks per run, or disjoint rank groups per §3.2.1).
@@ -307,6 +367,7 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 		}
 	}
 	if !haveModules && ensembles == nil {
+		taskEvent(obs.TypeTaskStart, TaskGaneSH)
 		timers.Time(TaskGaneSH, func() {
 			ensembles = prim.ganeshEnsembles(opt, master)
 		})
@@ -315,8 +376,12 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 			if err := saveCheckpoint(opt.CheckpointDir, ckptEnsembles, ck); err != nil {
 				return nil, err
 			}
+			checkpointEvent(ckptEnsembles)
 		}
+		taskEvent(obs.TypeTaskEnd, TaskGaneSH)
 		failpoint(TaskGaneSH, -1)
+	} else {
+		taskEvent(obs.TypeTaskResume, TaskGaneSH)
 	}
 
 	// Task 2: consensus clustering, sequential as in the paper (<0.04 %
@@ -324,17 +389,25 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 	var moduleVars [][]int
 	if haveModules {
 		moduleVars = resumedModules
+		taskEvent(obs.TypeTaskResume, TaskConsensus)
 	} else {
+		taskEvent(obs.TypeTaskStart, TaskConsensus)
+		var consErr error
 		timers.Time(TaskConsensus, func() {
 			a := ganesh.CoOccurrence(q.N, ensembles, opt.CoOccurrenceThreshold)
-			moduleVars = consensus.Cluster(q.N, a, opt.Consensus)
+			moduleVars, consErr = consensus.Cluster(q.N, a, opt.Consensus)
 		})
+		if consErr != nil {
+			return nil, consErr
+		}
 		if opt.CheckpointDir != "" && prim.writesCheckpoints {
 			ck := modulesCheckpoint{Version: checkpointVersion, Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: q.N, ModuleVars: moduleVars}
 			if err := saveCheckpoint(opt.CheckpointDir, ckptModules, ck); err != nil {
 				return nil, err
 			}
+			checkpointEvent(ckptModules)
 		}
+		taskEvent(obs.TypeTaskEnd, TaskConsensus)
 		failpoint(TaskConsensus, -1)
 	}
 
@@ -342,8 +415,14 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 	// sub-substream per module, checkpointed module-by-module so a crash
 	// here loses at most one module's work.
 	prog := &module.Progress{
-		OnStart: func(mi int) { failpoint("module", mi) },
+		OnStart: func(mi int) {
+			emit(obs.Event{Type: obs.TypeModuleStart, Module: &obs.ModuleInfo{
+				Index: mi, Vars: len(moduleVars[mi]),
+			}})
+			failpoint("module", mi)
+		},
 	}
+	var saveUnit func(u *module.Unit) error
 	if opt.CheckpointDir != "" {
 		units, err := loadProgress(opt.CheckpointDir, opt, q.N, moduleVars)
 		if err != nil {
@@ -354,14 +433,27 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 		}
 		prog.Completed = units
 		if prim.writesCheckpoints {
-			prog.OnUnit = func(u *module.Unit) error {
+			saveUnit = func(u *module.Unit) error {
 				units[u.Module] = u
 				return saveProgress(opt.CheckpointDir, opt, q.N, units)
 			}
 		}
 	}
+	prog.OnUnit = func(u *module.Unit) error {
+		if saveUnit != nil {
+			if err := saveUnit(u); err != nil {
+				return err
+			}
+			checkpointEvent(ckptProgress)
+		}
+		emit(obs.Event{Type: obs.TypeModuleDone, Module: &obs.ModuleInfo{
+			Index: u.Module, Vars: len(u.Vars), Splits: len(u.Weighted) + len(u.Uniform),
+		}})
+		return nil
+	}
 	var modRes *module.Result
 	var modErr error
+	taskEvent(obs.TypeTaskStart, TaskModules)
 	timers.Time(TaskModules, func() {
 		g := master.Substream(uint64(opt.GaneshRuns + 1))
 		modRes, modErr = prim.moduleRun(moduleVars, opt.Module, g, prog)
@@ -369,6 +461,7 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 	if modErr != nil {
 		return nil, modErr
 	}
+	taskEvent(obs.TypeTaskEnd, TaskModules)
 
 	// Assemble the network artifact.
 	net := &result.Network{N: d.N, M: d.M, Names: append([]string(nil), d.Names...)}
@@ -392,6 +485,10 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
+	emit(obs.Event{Type: obs.TypeRunEnd, Run: &obs.RunInfo{
+		Ranks: prim.ranks, Workers: opt.Workers, Seed: opt.Seed, N: q.N, M: q.M,
+		Modules: len(net.Modules),
+	}})
 	return &Output{Network: net, Modules: modRes.Modules, Splits: modRes.Splits, Timers: timers}, nil
 }
 
@@ -412,6 +509,12 @@ func Learn(d *dataset.Data, opt Options) (*Output, error) {
 	if opt.RecordWork {
 		wl = &trace.Workload{}
 	}
+	var rec *obs.Recorder
+	if opt.Events {
+		rec = obs.NewRecorder(0)
+	}
+	hooks := obs.NewHooks(rec, opt.Metrics)
+	opt = opt.withHooks(hooks, true)
 	timers := trace.NewTimers()
 	out, err := run(d, q, opt, pipeline{
 		ganeshEnsembles: func(opt Options, master *prng.MRG3) [][][]int {
@@ -426,11 +529,16 @@ func Learn(d *dataset.Data, opt Options) (*Output, error) {
 			return module.Learn(q, opt.Prior, moduleVars, par, g, wl, prog)
 		},
 		writesCheckpoints: true,
+		hooks:             hooks,
+		ranks:             1,
 	}, timers)
 	if err != nil {
 		return nil, err
 	}
 	out.Workload = wl
+	if rec != nil {
+		out.Events = rec.Events()
+	}
 	return out, nil
 }
 
@@ -448,6 +556,12 @@ func LearnWithComm(c *comm.Comm, d *dataset.Data, opt Options) (*Output, error) 
 	if err != nil {
 		return nil, err
 	}
+	var rec *obs.Recorder
+	if opt.Events {
+		rec = obs.NewRecorder(c.Rank())
+	}
+	hooks := obs.NewHooks(rec, opt.Metrics)
+	opt = opt.withHooks(hooks, c.Rank() == 0)
 	timers := trace.NewTimers()
 	out, err := run(d, q, opt, pipeline{
 		ganeshEnsembles: func(opt Options, master *prng.MRG3) [][][]int {
@@ -458,11 +572,21 @@ func LearnWithComm(c *comm.Comm, d *dataset.Data, opt Options) (*Output, error) 
 		},
 		writesCheckpoints: c.Rank() == 0,
 		rank:              c.Rank(),
+		hooks:             hooks,
+		ranks:             c.Size(),
 	}, timers)
 	if err != nil {
 		return nil, err
 	}
 	out.CommStats = c.Stats()
+	// Snapshot per-rank traffic before the event gather adds its own.
+	hooks.CommStats(c.Rank(), out.CommStats)
+	if rec != nil {
+		perRank := comm.Gather(c, 0, rec.Events())
+		if c.Rank() == 0 {
+			out.Events = obs.Merge(perRank)
+		}
+	}
 	return out, nil
 }
 
@@ -570,6 +694,20 @@ func LearnParallel(p int, d *dataset.Data, opt Options) (*Output, error) {
 		out := outs[0]
 		out.CommStats = total
 		out.Recovery = recovery
+		// Failures happened before the surviving attempt's events, so
+		// recovery events lead the merged stream.
+		if len(recovery) > 0 && out.Events != nil {
+			evs := make([]obs.Event, 0, len(recovery)+len(out.Events))
+			for _, re := range recovery {
+				r := re
+				evs = append(evs, obs.Event{Type: obs.TypeRecovery, Recovery: &r})
+			}
+			evs = append(evs, out.Events...)
+			for i := range evs {
+				evs[i].Seq = i
+			}
+			out.Events = evs
+		}
 		return out, nil
 	}
 }

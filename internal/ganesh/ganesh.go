@@ -17,6 +17,7 @@ package ganesh
 import (
 	"parsimone/internal/cluster"
 	"parsimone/internal/comm"
+	"parsimone/internal/obs"
 	"parsimone/internal/pool"
 	"parsimone/internal/prng"
 	"parsimone/internal/score"
@@ -39,6 +40,11 @@ type Params struct {
 	// Gain* evaluations are read-only on the clustering state and each
 	// writes only its own gains slot.
 	Workers int
+	// Hooks supplies the observability sinks. The sampler makes thousands
+	// of decisions per update step, so it feeds the metrics registry only
+	// (per-phase cost/item/decision counters) and never emits per-decision
+	// events; nil disables. Result-invisible, as everywhere.
+	Hooks *obs.Hooks
 }
 
 func (p Params) withDefaults(n, m int) Params {
@@ -123,10 +129,56 @@ type engine struct {
 	wl    *trace.Workload
 	// decision counts segments for per-phase work recording.
 	decision map[string]int
+	// reg receives per-phase pool counters; ctrs caches the interned
+	// counter handles so the hot decision loop skips the registry lookup.
+	reg  *obs.Registry
+	ctrs map[string]phaseCounters
+}
+
+// phaseCounters are one phase's cached metric handles.
+type phaseCounters struct {
+	cost, items, decisions *obs.Counter
 }
 
 func newEngine(q *score.QData, pr score.Prior, g *prng.MRG3, ex executor, wl *trace.Workload) *engine {
 	return &engine{q: q, prior: pr, g: g, ex: ex, wl: wl, decision: make(map[string]int)}
+}
+
+// withObs attaches the metrics registry of hooks (nil-safe) and returns the
+// engine for chaining.
+func (e *engine) withObs(h *obs.Hooks) *engine {
+	e.reg = h.Registry()
+	if e.reg != nil {
+		e.ctrs = make(map[string]phaseCounters)
+	}
+	return e
+}
+
+// count accumulates one decision's pool stats into the metrics registry.
+func (e *engine) count(phaseName string, st pool.Stats) {
+	if e.reg == nil {
+		return
+	}
+	pc, ok := e.ctrs[phaseName]
+	if !ok {
+		pc = phaseCounters{
+			cost:      e.reg.Counter("pool_cost_total", "accumulated abstract work-item cost by phase", "phase", phaseName),
+			items:     e.reg.Counter("pool_items_total", "work items evaluated by phase", "phase", phaseName),
+			decisions: e.reg.Counter("ganesh_decisions_total", "collective weighted choices drawn by phase", "phase", phaseName),
+		}
+		e.ctrs[phaseName] = pc
+	}
+	var cost float64
+	var items int64
+	for _, c := range st.Cost {
+		cost += c
+	}
+	for _, n := range st.Items {
+		items += n
+	}
+	pc.cost.Add(int64(cost))
+	pc.items.Add(items)
+	pc.decisions.Add(1)
 }
 
 // phase returns the recording phase for name, creating it on first use.
@@ -148,6 +200,7 @@ func (e *engine) phase(name string) *trace.Phase {
 // candidate i.
 func (e *engine) decide(phaseName string, count int, eval func(int) float64, itemCost func(int) float64) int {
 	gains, st := e.ex.gains(count, eval, itemCost)
+	e.count(phaseName, st)
 	if ph := e.phase(phaseName); ph != nil {
 		seg := e.decision[phaseName]
 		e.decision[phaseName]++
@@ -278,14 +331,14 @@ func (e *engine) run(par Params) *cluster.CoClustering {
 // co-clustering. If wl is non-nil the parallelizable work is recorded into
 // it for scaling analysis.
 func Run(q *score.QData, pr score.Prior, par Params, g *prng.MRG3, wl *trace.Workload) *cluster.CoClustering {
-	return newEngine(q, pr, g, seqExec{workers: par.Workers}, wl).run(par)
+	return newEngine(q, pr, g, seqExec{workers: par.Workers}, wl).withObs(par.Hooks).run(par)
 }
 
 // RunParallel executes the same algorithm across c's ranks. Every rank must
 // pass a PRNG in the same state; every rank returns an identical
 // co-clustering, bit-equal to the sequential result from the same state.
 func RunParallel(c *comm.Comm, q *score.QData, pr score.Prior, par Params, g *prng.MRG3) *cluster.CoClustering {
-	return newEngine(q, pr, g, parExec{c: c, workers: par.Workers}, nil).run(par)
+	return newEngine(q, pr, g, parExec{c: c, workers: par.Workers}, nil).withObs(par.Hooks).run(par)
 }
 
 // ObsParams configures the observation-only sampler used by the
@@ -298,6 +351,8 @@ type ObsParams struct {
 	Updates, Burnin int
 	// Workers as in Params.
 	Workers int
+	// Hooks as in Params (metrics only).
+	Hooks *obs.Hooks
 }
 
 func (p ObsParams) withDefaults(m int) ObsParams {
@@ -319,13 +374,13 @@ func (p ObsParams) withDefaults(m int) ObsParams {
 // sampled after burn-in — one snapshot per post-burn-in update step — plus
 // the final partition state. Sequential variant.
 func SampleObsClusterings(q *score.QData, pr score.Prior, vars []int, par ObsParams, g *prng.MRG3, wl *trace.Workload) ([][][]int, *cluster.ObsClusters) {
-	return sampleObs(newEngine(q, pr, g, seqExec{workers: par.Workers}, wl), vars, par)
+	return sampleObs(newEngine(q, pr, g, seqExec{workers: par.Workers}, wl).withObs(par.Hooks), vars, par)
 }
 
 // SampleObsClusteringsParallel is the distributed variant of
 // SampleObsClusterings; identical results on every rank.
 func SampleObsClusteringsParallel(c *comm.Comm, q *score.QData, pr score.Prior, vars []int, par ObsParams, g *prng.MRG3) ([][][]int, *cluster.ObsClusters) {
-	return sampleObs(newEngine(q, pr, g, parExec{c: c, workers: par.Workers}, nil), vars, par)
+	return sampleObs(newEngine(q, pr, g, parExec{c: c, workers: par.Workers}, nil).withObs(par.Hooks), vars, par)
 }
 
 func sampleObs(e *engine, vars []int, par ObsParams) ([][][]int, *cluster.ObsClusters) {

@@ -343,7 +343,10 @@ func (e *gibbs) learnSplits(moduleVars [][]int, trees [][]*tree.Tree, par splits
 		weights := make([]uint64, len(ps))
 		var retained []int
 		for i, p := range ps {
-			weights[i] = uint64(math.RoundToEven(p * (1 << 32)))
+			// Shared grid with splits.selectSplits (score.QuantizeProb): the
+			// baseline must consume the PRNG stream identically to the
+			// optimized engines or the bit-identity check is meaningless.
+			weights[i] = score.QuantizeProb(p)
 			if p > 0 {
 				retained = append(retained, i)
 			}
@@ -481,10 +484,14 @@ func Learn(d *dataset.Data, opt core.Options) (*core.Output, error) {
 	})
 
 	var moduleVars [][]int
+	var consErr error
 	timers.Time(core.TaskConsensus, func() {
 		a := ganesh.CoOccurrence(q.N, ensembles, opt.CoOccurrenceThreshold)
-		moduleVars = consensus.Cluster(q.N, a, opt.Consensus)
+		moduleVars, consErr = consensus.Cluster(q.N, a, opt.Consensus)
 	})
+	if consErr != nil {
+		return nil, consErr
+	}
 
 	var modules []*module.Module
 	timers.Time(core.TaskModules, func() {

@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryCountersAndGauges(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("ops_total", "ops")
+	c.Add(3)
+	c.Add(4)
+	c.Add(-5) // ignored: counters are monotone
+	if got := c.Value(); got != 7 {
+		t.Fatalf("counter = %d, want 7", got)
+	}
+	// Same (name, labels) returns the same series.
+	if reg.Counter("ops_total", "ops").Value() != 7 {
+		t.Fatal("counter lookup did not intern")
+	}
+	// Distinct labels are distinct series; label order does not matter.
+	reg.Counter("ops_total", "ops", "rank", "0").Add(1)
+	a := reg.Counter("x_total", "", "a", "1", "b", "2")
+	b := reg.Counter("x_total", "", "b", "2", "a", "1")
+	a.Add(5)
+	if b.Value() != 5 {
+		t.Fatal("label order changed series identity")
+	}
+	g := reg.Gauge("temp", "t")
+	g.Set(1.5)
+	g.Set(2.5)
+	if g.Value() != 2.5 {
+		t.Fatalf("gauge = %v, want 2.5", g.Value())
+	}
+}
+
+func TestRegistryHistogram(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("steps", "bootstrap steps", []float64{8, 16, 64})
+	for _, v := range []float64{1, 8, 9, 64, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		`steps_bucket{le="8"} 2`,    // 1, 8
+		`steps_bucket{le="16"} 3`,   // +9
+		`steps_bucket{le="64"} 4`,   // +64
+		`steps_bucket{le="+Inf"} 5`, // +100
+		`steps_count 5`,
+		"# TYPE steps histogram",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("prometheus dump missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestRegistryJSONDumpSortedAndParsable(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("z_total", "z").Add(1)
+	reg.Counter("a_total", "a", "rank", "1").Add(2)
+	reg.Counter("a_total", "a", "rank", "0").Add(3)
+	reg.Gauge("g", "g").Set(0.5)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out []jsonMetric
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 4 {
+		t.Fatalf("got %d metrics, want 4", len(out))
+	}
+	// Sorted by (name, labels): a{rank=0}, a{rank=1}, g, z.
+	order := []string{"a_total", "a_total", "g", "z_total"}
+	for i, want := range order {
+		if out[i].Name != want {
+			t.Fatalf("metric %d is %s, want %s", i, out[i].Name, want)
+		}
+	}
+	if !strings.Contains(out[0].Labels, `rank="0"`) {
+		t.Fatalf("labels not sorted: %s", out[0].Labels)
+	}
+}
+
+func TestRegistryPrometheusTextFormat(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("comm_sends_total", "point-to-point messages sent", "rank", "0").Add(12)
+	reg.Gauge("imbalance_ranks", "imbalance", "phase", "splits/assign").Set(0.25)
+	var buf bytes.Buffer
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# TYPE comm_sends_total counter",
+		`comm_sends_total{rank="0"} 12`,
+		"# TYPE imbalance_ranks gauge",
+		`imbalance_ranks{phase="splits/assign"} 0.25`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestNilRegistryIsNoop(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x", "").Add(1)
+	reg.Gauge("y", "").Set(2)
+	reg.Histogram("z", "", DefaultStepBuckets).Observe(3)
+	var buf bytes.Buffer
+	if err := reg.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Fatalf("nil registry dump: %q", buf.String())
+	}
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryConcurrent exercises the registry from many goroutines (the
+// parallel engine's ranks share one registry); run with -race.
+func TestRegistryConcurrent(t *testing.T) {
+	reg := NewRegistry()
+	var wg sync.WaitGroup
+	for r := 0; r < 8; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				reg.Counter("ops_total", "").Add(1)
+				reg.Gauge("g", "", "rank", string(rune('0'+r))).Set(float64(i))
+				reg.Histogram("h", "", DefaultStepBuckets).Observe(float64(i % 70))
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := reg.Counter("ops_total", "").Value(); got != 800 {
+		t.Fatalf("ops_total = %d, want 800", got)
+	}
+	if got := reg.Histogram("h", "", DefaultStepBuckets).Count(); got != 800 {
+		t.Fatalf("histogram count = %d, want 800", got)
+	}
+}

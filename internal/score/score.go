@@ -232,6 +232,34 @@ func QuantizeWeights(logScores []float64) []uint64 {
 	return ws
 }
 
+// QuantizeProb converts one probability (a bootstrap posterior in [0, 1])
+// to an integer sampling weight on the same 2^WeightBits grid as
+// QuantizeWeights, with the same guarantees: a positive probability always
+// maps to a positive weight (so any retained candidate stays selectable —
+// a sub-ULP posterior must not make WeightedIndex fail on an all-zero
+// vector), NaN and non-positive values map to zero, and values ≥ 1 clamp
+// to MaxWeight (uint64 of an out-of-range float is platform-dependent in
+// Go, exactly the portability trap QuantizeWeights documents). Every split
+// selection path — the gather-based and segmented-scan parallel paths and
+// the naive baseline — must use this one helper so their weights, and
+// hence the learned networks, stay bit-identical.
+func QuantizeProb(p float64) uint64 {
+	if math.IsNaN(p) || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return MaxWeight
+	}
+	w := math.RoundToEven(p * (1 << WeightBits))
+	if w < 1 {
+		return 1
+	}
+	if !(w < float64(MaxWeight)) {
+		return MaxWeight
+	}
+	return uint64(w)
+}
+
 // Predictive returns the normal-gamma posterior predictive distribution of
 // a new value given the block statistics s, approximated as a Gaussian: the
 // posterior mean μN and the Student-t predictive variance

@@ -316,6 +316,48 @@ func TestQuantizeWeightsRelativeOrder(t *testing.T) {
 	}
 }
 
+func TestQuantizeProbTable(t *testing.T) {
+	cases := []struct {
+		name string
+		p    float64
+		want uint64
+	}{
+		{"zero", 0, 0},
+		{"negative", -0.5, 0},
+		{"NaN", math.NaN(), 0},
+		{"one clamps to MaxWeight", 1.0, MaxWeight},
+		{"above one clamps", 1.5, MaxWeight},
+		{"+Inf clamps", math.Inf(1), MaxWeight},
+		{"-Inf is zero", math.Inf(-1), 0},
+		{"half", 0.5, uint64(1) << (WeightBits - 1)},
+		{"typical posterior 1/64", 1.0 / 64, uint64(1) << (WeightBits - 6)},
+		{"sub-ULP stays selectable", 1e-300, 1},
+		{"smallest positive stays selectable", math.SmallestNonzeroFloat64, 1},
+		{"just below grid stays selectable", 1.0 / (1 << (WeightBits + 4)), 1},
+	}
+	for _, tc := range cases {
+		if got := QuantizeProb(tc.p); got != tc.want {
+			t.Errorf("%s: QuantizeProb(%v) = %d, want %d", tc.name, tc.p, got, tc.want)
+		}
+	}
+}
+
+// TestQuantizeProbMatchesLegacyGrid pins QuantizeProb to the historic
+// round(p·2^32) grid for ordinary posteriors (k/steps with steps ≤ 256), so
+// unifying the selection paths on the shared helper changed no learned
+// network.
+func TestQuantizeProbMatchesLegacyGrid(t *testing.T) {
+	for steps := 1; steps <= 256; steps *= 2 {
+		for k := 0; k <= steps; k++ {
+			p := float64(k) / float64(steps)
+			legacy := uint64(math.RoundToEven(p * (1 << 32)))
+			if got := QuantizeProb(p); got != legacy {
+				t.Fatalf("QuantizeProb(%d/%d) = %d, legacy grid %d", k, steps, got, legacy)
+			}
+		}
+	}
+}
+
 func BenchmarkLogML(b *testing.B) {
 	pr := DefaultPrior()
 	s := StatsOf([]int64{100, 200, 300, -100, 50, 70, 90, 1000})

@@ -61,13 +61,30 @@ func LearnParallelDynamic(c *comm.Comm, q *score.QData, pr score.Prior, modules 
 	// computeRange evaluates one dealt chunk through the intra-rank worker
 	// pool; a sub-chunk granularity finer than the dealt chunk keeps W
 	// workers busy inside it. valMsg carries the global index, so dealing
-	// order never affects the gathered result.
+	// order never affects the gathered result. One nodeIndexAt seeds
+	// per-worker monotone cursors for the chunk (each worker's indices
+	// ascend), so the binary search runs once per dealt chunk, not once
+	// per candidate. No par.Hooks cost events are emitted on this path:
+	// which rank computes which chunk is demand-driven and therefore
+	// scheduling-dependent, and per-rank cost events would break the
+	// event-stream determinism the static and scan paths guarantee.
 	subChunk := max(1, chunk/8)
+	nw := max(1, par.Workers)
+	cursors := make([]int, nw)
 	computeRange := func(lo, hi int, out []valMsg) []valMsg {
 		tmp := make([]valMsg, hi-lo)
+		start := nodeIndexAt(nodes, lo)
+		for w := range cursors {
+			cursors[w] = start
+		}
 		pool.For(hi-lo, par.Workers, subChunk, func(k, w int) float64 {
 			ci := lo + k
-			ref := nodes[nodeIndexAt(nodes, ci)]
+			ni := cursors[w]
+			for nodes[ni].offset+nodes[ni].count <= ci {
+				ni++
+			}
+			cursors[w] = ni
+			ref := nodes[ni]
 			p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
 			tmp[k] = valMsg{Index: ci, P: p}
 			return itemCost(s, len(ref.node.Obs))

@@ -17,7 +17,6 @@
 package splits
 
 import (
-	"math"
 	"sort"
 
 	"parsimone/internal/comm"
@@ -61,20 +60,48 @@ func LearnParallelScan(c *comm.Comm, q *score.QData, pr score.Prior, modules [][
 
 	// Local posteriors over this rank's block, kept distributed; evaluated
 	// by the intra-rank worker pool with indexed writes (identical for
-	// every worker count).
+	// every worker count). Weights come from score.QuantizeProb — the same
+	// grid as the gather-based path, bit for bit, or the two paths would
+	// consume the shared PRNG stream differently. Per-worker monotone
+	// cursors replace the per-candidate binary search, as in learn.
 	lo, hi := comm.BlockRange(total, c.Size(), c.Rank())
 	localW := make([]uint64, hi-lo)
 	localP := make([]float64, hi-lo)
 	localRetained := make([]bool, hi-lo)
-	pool.For(hi-lo, par.Workers, pool.DefaultChunk, func(k, w int) float64 {
+	nw := max(1, par.Workers)
+	cursors := make([]int, nw)
+	if len(nodes) > 0 {
+		start := nodeIndexAt(nodes, lo)
+		for w := range cursors {
+			cursors[w] = start
+		}
+	}
+	st := pool.For(hi-lo, par.Workers, pool.DefaultChunk, func(k, w int) float64 {
 		ci := lo + k
-		ref := nodes[nodeIndexAt(nodes, ci)]
+		nc := cursors[w]
+		for nodes[nc].offset+nodes[nc].count <= ci {
+			nc++
+		}
+		cursors[w] = nc
+		ref := nodes[nc]
 		p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
-		localW[k] = uint64(math.RoundToEven(p * (1 << 32)))
+		localW[k] = score.QuantizeProb(p)
 		localP[k] = p
 		localRetained[k] = p > 0
 		return itemCost(s, len(ref.node.Obs))
 	})
+	if h := par.Hooks; h != nil {
+		h.PoolCost(PhaseAssign, st)
+		h.WorkerImbalance(PhaseAssign, st)
+		var localCost float64
+		for _, cst := range st.Cost {
+			localCost += cst
+		}
+		perRank := comm.AllGatherv(c, []float64{localCost})
+		if c.Rank() == 0 {
+			h.RankImbalance(PhaseAssign, perRank)
+		}
+	}
 
 	// Per-node partial sums of this rank's block (the local half of the
 	// segmented scan).

@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"parsimone/internal/comm"
+	"parsimone/internal/obs"
 	"parsimone/internal/pool"
 	"parsimone/internal/prng"
 	"parsimone/internal/score"
@@ -35,15 +36,28 @@ import (
 )
 
 // Params configures split assignment.
+//
+// # Zero-value sentinels
+//
+// The zero value of every field selects its documented default — an
+// *explicit* zero cannot be configured. Count fields (NumSplits, MaxSteps,
+// MinSteps) treat any value ≤ 0 as "use the default": a negative count is
+// never meaningful, and silently accepting one would make posterior() run
+// zero bootstrap steps and divide by zero. For CIHalfWidth a negative
+// value IS meaningful and is honored: it disables early termination, so
+// every split runs to MaxSteps (the half-width test `hw < CIHalfWidth`
+// can then never pass). TestParamsWithDefaults pins all of this.
 type Params struct {
 	// NumSplits is J: how many weighted and how many uniform splits are
-	// chosen per node. Default 2.
+	// chosen per node. Values ≤ 0 select the default, 2.
 	NumSplits int
 	// MaxSteps is S, the bootstrap resampling cap per split; MinSteps the
-	// floor before early termination is allowed. Defaults 64 and 8.
+	// floor before early termination is allowed. Values ≤ 0 select the
+	// defaults, 64 and 8.
 	MaxSteps, MinSteps int
 	// CIHalfWidth is the normal-approximation confidence half-width below
-	// which sampling stops early. Default 0.08.
+	// which sampling stops early. 0 selects the default, 0.08; a negative
+	// value disables early termination entirely.
 	CIHalfWidth float64
 	// Candidates is the candidate-parent list P; nil means every
 	// variable (the paper's genome-scale setting).
@@ -70,16 +84,23 @@ type Params struct {
 	// deadlocking the coordinator in RecvAny forever. 0 waits without
 	// bound.
 	CoordTimeout time.Duration
+	// Hooks receives observability events and metrics (nil disables both).
+	// Observability is result-invisible: hooks never consume the PRNG
+	// stream or alter control flow. In a parallel run either every rank or
+	// no rank must attach hooks — the rank-imbalance summary is gathered
+	// collectively, so a mixed configuration would deadlock, exactly like
+	// disagreeing on any other collective.
+	Hooks *obs.Hooks
 }
 
 func (p Params) withDefaults(n int) Params {
-	if p.NumSplits == 0 {
+	if p.NumSplits <= 0 {
 		p.NumSplits = 2
 	}
-	if p.MaxSteps == 0 {
+	if p.MaxSteps <= 0 {
 		p.MaxSteps = 64
 	}
-	if p.MinSteps == 0 {
+	if p.MinSteps <= 0 {
 		p.MinSteps = 8
 	}
 	if p.CIHalfWidth == 0 {
@@ -226,11 +247,15 @@ func posterior(q *score.QData, pr score.Prior, ref *nodeRef, candParents []int, 
 }
 
 // learn computes all posteriors (partitioned by evalRange) and performs the
-// per-node selection on the full posterior vector.
+// per-node selection on the full posterior vector. gatherCosts, when
+// non-nil, collects the per-rank pool costs for the rank-imbalance summary
+// (returning non-nil on rank 0 only); it runs only when par.Hooks is
+// attached, so runs without observability perform no extra communication.
 func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree,
 	par Params, g *prng.MRG3,
 	exchange func(local []float64, lo, hi, total int) []float64,
 	evalRange func(total int) (int, int),
+	gatherCosts func(localCost float64) []float64,
 	wl *trace.Workload) Result {
 
 	par = par.withDefaults(q.N)
@@ -243,19 +268,59 @@ func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 	// Posterior computation over this rank's block of the global list,
 	// fanned out over the intra-rank worker pool. Each candidate draws only
 	// from its own numbered substream (Substream is read-only on base) and
-	// writes only its own slot, so the fill is order-independent.
+	// writes only its own slot, so the fill is order-independent. The pool
+	// deals chunks round-robin, so each worker sees strictly ascending
+	// candidate indices: a per-worker monotone cursor replaces the binary
+	// search for the owning node (one O(log nodes) sort.Search per
+	// candidate would dominate the loop overhead on cheap splits; see
+	// BenchmarkNodeLookup).
 	base := g.Clone()
 	lo, hi := evalRange(total)
 	local := make([]float64, hi-lo)
 	steps := make([]int, hi-lo)
+	nw := par.Workers
+	if nw < 1 {
+		nw = 1
+	}
+	cursors := make([]int, nw)
+	if len(nodes) > 0 {
+		start := nodeIndexAt(nodes, lo)
+		for w := range cursors {
+			cursors[w] = start
+		}
+	}
 	st := pool.For(hi-lo, par.Workers, pool.DefaultChunk, func(k, w int) float64 {
 		ci := lo + k
-		ref := nodes[nodeIndexAt(nodes, ci)]
+		ni := cursors[w]
+		for nodes[ni].offset+nodes[ni].count <= ci {
+			ni++
+		}
+		cursors[w] = ni
+		ref := nodes[ni]
 		p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
 		local[k] = p
 		steps[k] = s
 		return itemCost(s, len(ref.node.Obs))
 	})
+	if h := par.Hooks; h != nil {
+		h.PoolCost(PhaseAssign, st)
+		h.WorkerImbalance(PhaseAssign, st)
+		if reg := h.Registry(); reg != nil {
+			hist := reg.Histogram("split_steps", "bootstrap resampling steps per candidate split", obs.DefaultStepBuckets)
+			for _, s := range steps {
+				hist.Observe(float64(s))
+			}
+		}
+		if gatherCosts != nil {
+			var localCost float64
+			for _, c := range st.Cost {
+				localCost += c
+			}
+			if perRank := gatherCosts(localCost); perRank != nil {
+				h.RankImbalance(PhaseAssign, perRank)
+			}
+		}
+	}
 	if wl != nil {
 		ph := wl.Phase(PhaseAssign)
 		if ph == nil {
@@ -299,7 +364,10 @@ func selectSplits(q *score.QData, nodes []*nodeRef, posteriors []float64, par Pa
 		weights := make([]uint64, len(ps))
 		var retained []int
 		for i, p := range ps {
-			weights[i] = uint64(math.RoundToEven(p * (1 << 32)))
+			// score.QuantizeProb, not an ad-hoc rounding: a retained
+			// (positive-posterior) candidate must map to a positive weight
+			// or WeightedIndex could face an all-zero vector and return -1.
+			weights[i] = score.QuantizeProb(p)
 			if p > 0 {
 				retained = append(retained, i)
 			}
@@ -336,6 +404,7 @@ func Learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 	return learn(q, pr, modules, trees, par, g,
 		func(local []float64, lo, hi, total int) []float64 { return local },
 		func(total int) (int, int) { return 0, total },
+		nil,
 		wl)
 }
 
@@ -357,6 +426,13 @@ func LearnParallel(c *comm.Comm, q *score.QData, pr score.Prior, modules [][]int
 		},
 		func(total int) (int, int) {
 			return comm.BlockRange(total, c.Size(), c.Rank())
+		},
+		func(localCost float64) []float64 {
+			per := comm.AllGatherv(c, []float64{localCost})
+			if c.Rank() != 0 {
+				return nil
+			}
+			return per
 		},
 		nil)
 }

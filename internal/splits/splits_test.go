@@ -228,14 +228,130 @@ func TestWorkloadRecordsImbalanceSource(t *testing.T) {
 	}
 }
 
-func TestParamsDefaults(t *testing.T) {
-	p := Params{}.withDefaults(10)
-	if p.NumSplits != 2 || p.MaxSteps != 64 || p.MinSteps != 8 || p.CIHalfWidth != 0.08 {
-		t.Fatalf("defaults: %+v", p)
+// TestParamsWithDefaults pins the zero-value sentinel semantics documented
+// on Params: zero and negative counts select defaults; negative CIHalfWidth
+// is honored and disables early termination.
+func TestParamsWithDefaults(t *testing.T) {
+	cases := []struct {
+		name                       string
+		in                         Params
+		splits, maxSteps, minSteps int
+		ciHW                       float64
+	}{
+		{"zero value", Params{}, 2, 64, 8, 0.08},
+		{"negative counts fall back", Params{NumSplits: -1, MaxSteps: -64, MinSteps: -8}, 2, 64, 8, 0.08},
+		{"negative half-width honored", Params{CIHalfWidth: -1}, 2, 64, 8, -1},
+		{"explicit values kept", Params{NumSplits: 3, MaxSteps: 32, MinSteps: 4, CIHalfWidth: 0.2}, 3, 32, 4, 0.2},
 	}
-	if len(p.Candidates) != 10 || p.Candidates[9] != 9 {
-		t.Fatalf("candidate default: %v", p.Candidates)
+	for _, tc := range cases {
+		p := tc.in.withDefaults(10)
+		if p.NumSplits != tc.splits || p.MaxSteps != tc.maxSteps || p.MinSteps != tc.minSteps || p.CIHalfWidth != tc.ciHW {
+			t.Errorf("%s: got %+v", tc.name, p)
+		}
+		if len(p.Candidates) != 10 || p.Candidates[9] != 9 {
+			t.Errorf("%s: candidate default: %v", tc.name, p.Candidates)
+		}
 	}
+}
+
+// TestNegativeCIHalfWidthRunsToMaxSteps pins the "disabled early
+// termination" semantics end to end: every posterior consumes exactly
+// MaxSteps bootstrap resamples (or one degenerate scan).
+func TestNegativeCIHalfWidthRunsToMaxSteps(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 3)
+	pr := score.DefaultPrior()
+	par := Params{MaxSteps: 12, CIHalfWidth: -1}.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	g := prng.New(9)
+	checked := 0
+	for _, ref := range nodes {
+		for ci := ref.offset; ci < ref.offset+ref.count && checked < 50; ci++ {
+			_, steps := posterior(q, pr, ref, par.Candidates, ci, g.Substream(uint64(ci)), par)
+			if steps != 0 && steps != par.MaxSteps {
+				t.Fatalf("candidate %d stopped early at %d steps despite disabled CI", ci, steps)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Fatal("no candidates checked")
+	}
+}
+
+// TestSelectSplitsPosteriorExtremes is the satellite regression test for the
+// shared quantizer: selection must stay well-defined (and p-invariant, via
+// the shared grid) when posteriors sit at the extremes — exactly 0,
+// sub-ULP positive, and exactly 1. Before score.QuantizeProb, a sub-ULP
+// posterior quantized to weight 0 while staying "retained", so a node whose
+// only retained candidates were sub-ULP handed WeightedIndex an all-zero
+// vector, which returns -1 and crashed the selection.
+func TestSelectSplitsPosteriorExtremes(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 5)
+	par := Params{NumSplits: 2}.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	total := 0
+	for _, ref := range nodes {
+		total += ref.count
+	}
+	tiny := 1e-300 // rounds to zero on the 2^32 grid without QuantizeProb's floor
+	for name, fill := range map[string]func(i int) float64{
+		"all zero":       func(int) float64 { return 0 },
+		"all one":        func(int) float64 { return 1 },
+		"sub-ULP only":   func(int) float64 { return tiny },
+		"mixed extremes": func(i int) float64 { return []float64{0, tiny, 1}[i%3] },
+	} {
+		posteriors := make([]float64, total)
+		for i := range posteriors {
+			posteriors[i] = fill(i)
+		}
+		res := selectSplits(q, nodes, posteriors, par, prng.New(21))
+		for _, a := range append(append([]Assigned(nil), res.Weighted...), res.Uniform...) {
+			if a.Posterior <= 0 {
+				t.Fatalf("%s: selected a zero-posterior candidate: %+v", name, a)
+			}
+		}
+		if name == "all zero" && (len(res.Weighted) != 0 || len(res.Uniform) != 0) {
+			t.Fatalf("all-zero posteriors still selected splits: %+v", res)
+		}
+		if name != "all zero" && len(res.Weighted) == 0 {
+			t.Fatalf("%s: no splits selected", name)
+		}
+	}
+}
+
+// BenchmarkNodeLookup compares the per-candidate sort.Search node lookup
+// (the old hot-loop code) against the monotone cursor that replaced it,
+// over a realistic enumeration. The surrounding posterior work is elided so
+// the benchmark isolates exactly the lookup cost the cursor removes.
+func BenchmarkNodeLookup(b *testing.B) {
+	q, modules, trees, _ := fixture(b, 1)
+	par := Params{}.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	total := 0
+	for _, ref := range nodes {
+		total += ref.count
+	}
+	b.Run("sort.Search", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sink int
+			for ci := 0; ci < total; ci++ {
+				sink += nodeIndexAt(nodes, ci)
+			}
+			_ = sink
+		}
+	})
+	b.Run("cursor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var sink, ni int
+			for ci := 0; ci < total; ci++ {
+				for nodes[ni].offset+nodes[ni].count <= ci {
+					ni++
+				}
+				sink += ni
+			}
+			_ = sink
+		}
+	})
 }
 
 func BenchmarkLearn(b *testing.B) {
