@@ -1,14 +1,15 @@
-# Tier-1 verification (ROADMAP.md): formatting, vet, build, tests, a
+# Tier-1 verification (ROADMAP.md): formatting, vet, the parsivet
+# determinism lint, build, tests (shuffled so order dependence surfaces), a
 # race-detector pass over the concurrency-bearing packages (the goroutine
 # message-passing runtime, the split-scoring paths, the intra-rank worker
-# pool, and the observability sinks), and the fault-injection suite under
-# the race detector.
+# pool, the observability sinks, and the core/GaneSH engines above them),
+# and the fault-injection suite under the race detector.
 
 GO ?= go
 
-.PHONY: tier1 fmt vet build test race faults fuzz bench
+.PHONY: tier1 fmt vet lint build test race faults fuzz fuzz-score bench
 
-tier1: fmt vet build test race faults
+tier1: fmt vet lint build test race faults
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -19,14 +20,22 @@ fmt:
 vet:
 	$(GO) vet ./...
 
+# The parsivet suite (cmd/parsivet): repo-specific static enforcement of
+# the determinism, PRNG, float-comparison, comm-symmetry, and worker-pool
+# invariants. Standard library only — builds from the local module cache,
+# no network. `parsivet -json ./...` emits machine-readable findings.
+lint:
+	$(GO) run ./cmd/parsivet ./...
+
 build:
 	$(GO) build ./...
 
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 race:
-	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/ ./internal/obs/
+	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/ ./internal/obs/ \
+		./internal/core/ ./internal/ganesh/
 
 # The fault-injection and crash-recovery suite, race-enabled: injected
 # crashes/delays/drops in comm, the dynamic-coordinator watchdog, and the
@@ -39,6 +48,14 @@ faults:
 # is `go test -fuzz=FuzzReadTSV ./internal/dataset/` without -fuzztime).
 fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadTSV -fuzztime 10s ./internal/dataset/
+
+# Short native-fuzzing pass over the score quantizers every selection path
+# shares: no panics on NaN/±Inf/subnormals, weights on [0, MaxWeight], and
+# monotone mappings. One invocation per target (go test allows a single
+# -fuzz match per run).
+fuzz-score:
+	$(GO) test -run '^$$' -fuzz 'FuzzQuantizeWeights$$' -fuzztime 10s ./internal/score/
+	$(GO) test -run '^$$' -fuzz 'FuzzQuantizeProb$$' -fuzztime 10s ./internal/score/
 
 # Regenerate the full reduced-scale reproduction (minutes).
 bench:

@@ -1,0 +1,87 @@
+// Command parsivet is the repo's determinism linter: a multichecker of
+// five analyzers that statically enforce the invariants the reproduction's
+// bit-identity guarantee rests on (see internal/analysis):
+//
+//	maporder  — no unordered map iteration in deterministic packages
+//	prngonly  — stochastic draws only via internal/prng; no wallclock reads
+//	floateq   — no raw float ==/!= outside internal/score's quantizers
+//	commsym   — no rank-guarded collectives, no dropped comm/checkpoint errors
+//	seqcount  — no ad-hoc goroutines bypassing internal/pool
+//
+// Usage:
+//
+//	parsivet [-json] [packages]
+//
+// Packages default to ./... . Exit status is 0 when clean, 1 when findings
+// remain, 2 on a load or usage error. Findings are silenced per site with
+// //parsivet:<keyword> comments (see internal/analysis for the convention).
+//
+// parsivet is wired into `make lint` (and thence the tier1 gate) as a
+// standalone driver rather than a `go vet -vettool`: the vettool protocol
+// needs the x/tools unitchecker, and this repository builds with the
+// standard library only, no module downloads. The analyzer surface mirrors
+// x/tools go/analysis, so migrating to a vettool later is mechanical.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"parsimone/internal/analysis"
+	"parsimone/internal/analysis/commsym"
+	"parsimone/internal/analysis/floateq"
+	"parsimone/internal/analysis/maporder"
+	"parsimone/internal/analysis/prngonly"
+	"parsimone/internal/analysis/seqcount"
+)
+
+var analyzers = []*analysis.Analyzer{
+	maporder.Analyzer,
+	prngonly.Analyzer,
+	floateq.Analyzer,
+	commsym.Analyzer,
+	seqcount.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("parsivet", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	fs.Usage = func() {
+		fmt.Fprintln(fs.Output(), "usage: parsivet [-json] [packages]")
+		fs.PrintDefaults()
+		fmt.Fprintln(fs.Output(), "\nanalyzers:")
+		for _, a := range analyzers {
+			fmt.Fprintf(fs.Output(), "  %-9s %s (suppress: //parsivet:%s)\n", a.Name, a.Doc, a.Suppress)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.Run(patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if *jsonOut {
+		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	} else if err := analysis.WriteText(os.Stderr, diags); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

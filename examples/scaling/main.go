@@ -30,11 +30,13 @@ func main() {
 	opt := parsimone.DefaultOptions()
 	opt.Seed = 3
 	opt.RecordWork = true
+	//parsivet:wallclock — example reports elapsed time; never feeds learned state
 	start := time.Now()
 	seq, err := parsimone.Learn(data, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
+	//parsivet:wallclock — example reports elapsed time; never feeds learned state
 	seqDur := time.Since(start)
 	fmt.Printf("sequential run: %v (%d modules)\n", seqDur.Round(time.Millisecond), len(seq.Network.Modules))
 

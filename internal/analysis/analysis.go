@@ -1,0 +1,178 @@
+// Package analysis is a minimal, dependency-free analog of the
+// golang.org/x/tools/go/analysis framework, sized for this repository's
+// parsivet suite (cmd/parsivet). It exists because the reproduction's
+// central invariant — every (p, W) configuration makes identical
+// score-weighted random choices, so the learned network is bit-identical to
+// the sequential baseline — is threatened by bug classes that are visible
+// at compile time: map-iteration order in deterministic code, stray
+// wallclock/PRNG reads in decision paths, raw float equality, rank-skewed
+// collective calls, and ad-hoc goroutines outside the p×W worker-pool
+// model. The dynamic guards (TestPInvariance, the crash-at-every-failpoint
+// acceptance suite) catch these after the fact; the analyzers here catch
+// them before any test runs.
+//
+// The framework mirrors the x/tools surface (Analyzer, Pass, Diagnostic, a
+// driver, an analysistest-style harness) but is built only on the standard
+// library's go/ast, go/parser, and go/types, loading packages through `go
+// list` — no module downloads, no network, build-cache-friendly.
+//
+// # Suppression convention
+//
+// Every analyzer has a suppression keyword. A finding is silenced by a
+// `//parsivet:<keyword>` comment on the flagged line or on the line
+// directly above it; the rest of the comment line should say why the site
+// is safe, e.g.
+//
+//	//parsivet:ordered — keys are collected and sorted two lines down
+//	for k := range m { ... }
+//
+// The keywords are "ordered" (maporder), "wallclock" (prngonly), "floateq"
+// (floateq), "commsym" (commsym), and "seqcount" (seqcount).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Analyzer is one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and JSON output.
+	Name string
+	// Doc is a one-paragraph description shown by `parsivet -help`.
+	Doc string
+	// Suppress is the //parsivet:<keyword> that silences a finding of
+	// this analyzer on the flagged line or the line above it.
+	Suppress string
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass) error
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+	report    func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Suppress: p.Analyzer.Suppress,
+		Position: p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding with its resolved file position.
+type Diagnostic struct {
+	Analyzer string         `json:"analyzer"`
+	Suppress string         `json:"-"`
+	Position token.Position `json:"-"`
+	Message  string         `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Position, d.Analyzer, d.Message)
+}
+
+// DeterministicPackages names the packages whose code feeds the
+// bit-identity invariant: every value they compute must be a pure function
+// of (data, seed, options), independent of p, W, scheduling, and map order.
+// Matching is by package name: the testdata packages of the analyzer tests
+// reuse these names to trigger the checks.
+var DeterministicPackages = map[string]bool{
+	"core":       true,
+	"ganesh":     true,
+	"splits":     true,
+	"consensus":  true,
+	"score":      true,
+	"tree":       true,
+	"module":     true,
+	"result":     true,
+	"cluster":    true,
+	"ltbaseline": true,
+	"genomica":   true,
+}
+
+// WallclockExempt names the packages allowed to read the wallclock and
+// host PRNGs: observability, tracing, and the benchmark harness, none of
+// which feed learned-network state.
+var WallclockExempt = map[string]bool{
+	"obs":   true,
+	"trace": true,
+	"bench": true,
+}
+
+// IsDeterministic reports whether pkg is one of the bit-identity packages.
+func IsDeterministic(pkg *types.Package) bool {
+	return pkg != nil && DeterministicPackages[pkg.Name()]
+}
+
+// suppressions maps line numbers of one file to the parsivet keywords
+// present on that line.
+type suppressions map[int][]string
+
+// suppressionIndex records, per file, the //parsivet:<keyword> comments.
+type suppressionIndex map[string]suppressions
+
+func buildSuppressionIndex(fset *token.FileSet, files []*ast.File) suppressionIndex {
+	idx := suppressionIndex{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				kw, ok := parseSuppression(c.Text)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				m := idx[pos.Filename]
+				if m == nil {
+					m = suppressions{}
+					idx[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], kw)
+			}
+		}
+	}
+	return idx
+}
+
+// parseSuppression extracts the keyword of a //parsivet:<keyword> comment.
+func parseSuppression(text string) (string, bool) {
+	rest, ok := strings.CutPrefix(text, "//parsivet:")
+	if !ok {
+		return "", false
+	}
+	kw := rest
+	if i := strings.IndexFunc(rest, func(r rune) bool {
+		return !('a' <= r && r <= 'z')
+	}); i >= 0 {
+		kw = rest[:i]
+	}
+	return kw, kw != ""
+}
+
+// suppressed reports whether d is silenced by a matching //parsivet
+// comment on its line or the line above.
+func (idx suppressionIndex) suppressed(d Diagnostic) bool {
+	m := idx[d.Position.Filename]
+	if m == nil {
+		return false
+	}
+	for _, line := range []int{d.Position.Line, d.Position.Line - 1} {
+		for _, kw := range m[line] {
+			if kw == d.Suppress {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,123 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func TestParseSuppression(t *testing.T) {
+	cases := []struct {
+		text string
+		kw   string
+		ok   bool
+	}{
+		{"//parsivet:ordered", "ordered", true},
+		{"//parsivet:ordered — keys sorted below", "ordered", true},
+		{"//parsivet:wallclock harness timing", "wallclock", true},
+		{"// parsivet:ordered", "", false}, // space breaks the marker, like //go: directives
+		{"//parsivet:", "", false},
+		{"// plain comment", "", false},
+		{"//parsivet:ORDERED", "", false}, // keywords are lower-case
+	}
+	for _, c := range cases {
+		kw, ok := parseSuppression(c.text)
+		if ok != c.ok || kw != c.kw {
+			t.Errorf("parseSuppression(%q) = %q, %v; want %q, %v", c.text, kw, ok, c.kw, c.ok)
+		}
+	}
+}
+
+func TestSuppressionIndex(t *testing.T) {
+	src := `package p
+
+func f(m map[int]int) {
+	//parsivet:ordered — above the site
+	for range m {
+	}
+	_ = m //parsivet:floateq trailing
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx := buildSuppressionIndex(fset, []*ast.File{f})
+	at := func(line int, kw string) Diagnostic {
+		return Diagnostic{Suppress: kw, Position: token.Position{Filename: "p.go", Line: line}}
+	}
+	if !idx.suppressed(at(5, "ordered")) {
+		t.Error("line 5 should be suppressed by the comment on line 4")
+	}
+	if !idx.suppressed(at(4, "ordered")) {
+		t.Error("line 4 carries the comment itself")
+	}
+	if idx.suppressed(at(5, "floateq")) {
+		t.Error("keyword must match the analyzer")
+	}
+	if !idx.suppressed(at(7, "floateq")) {
+		t.Error("trailing comment on line 7 should suppress")
+	}
+	if idx.suppressed(at(6, "ordered")) {
+		t.Error("suppression must not leak two lines down")
+	}
+}
+
+func TestWriteJSONAndText(t *testing.T) {
+	diags := []Diagnostic{
+		{
+			Analyzer: "maporder",
+			Position: token.Position{Filename: "x.go", Line: 3, Column: 2},
+			Message:  "range over map",
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	var decoded []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, buf.String())
+	}
+	if len(decoded) != 1 || decoded[0]["analyzer"] != "maporder" || decoded[0]["line"] != float64(3) {
+		t.Errorf("unexpected JSON payload: %s", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(buf.String()) != "[]" {
+		t.Errorf("empty findings must encode as [], got %q", buf.String())
+	}
+
+	buf.Reset()
+	if err := WriteText(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "x.go:3:2: [maporder] range over map\n" {
+		t.Errorf("unexpected text rendering %q", got)
+	}
+}
+
+// TestLoaderLoadsModulePackage exercises the go list + go/types pipeline on
+// a real in-module package.
+func TestLoaderLoadsModulePackage(t *testing.T) {
+	pkgs, err := NewLoader().Load("parsimone/internal/prng")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Types.Name() != "prng" || len(p.Files) == 0 || len(p.Info.Defs) == 0 {
+		t.Errorf("package not fully loaded: name=%q files=%d defs=%d",
+			p.Types.Name(), len(p.Files), len(p.Info.Defs))
+	}
+}

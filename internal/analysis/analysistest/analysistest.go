@@ -1,0 +1,112 @@
+// Package analysistest runs one analyzer over a testdata package and
+// checks its findings against `// want "regexp"` expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest on the standard library only.
+//
+// Test packages live under testdata/src/<pkg>/ beside the analyzer's test
+// file. Each line that should be flagged carries a trailing comment
+//
+//	code() // want "part of the expected message"
+//
+// with one quoted regexp per expected finding on that line. Lines without
+// a want comment must produce no finding — including lines silenced by the
+// //parsivet suppression convention, which the harness applies exactly as
+// the parsivet driver does.
+package analysistest
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"parsimone/internal/analysis"
+)
+
+var (
+	wantRE   = regexp.MustCompile(`//\s*want\s+(.*)$`)
+	quotedRE = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// Run analyzes testdata/src/<pkg> with a and reports any mismatch between
+// findings and want expectations as test errors.
+func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", pkg)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var files []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			files = append(files, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		t.Fatalf("no Go files under %s", dir)
+	}
+
+	p, err := analysis.NewLoader().CheckFiles(pkg, files)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.Analyze(p, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type loc struct {
+		file string
+		line int
+	}
+	wants := map[loc][]*regexp.Regexp{}
+	for _, name := range files {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRE.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range quotedRE.FindAllString(m[1], -1) {
+				pat, err := strconv.Unquote(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %s: %v", name, i+1, q, err)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", name, i+1, pat, err)
+				}
+				k := loc{name, i + 1}
+				wants[k] = append(wants[k], re)
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := loc{d.Position.Filename, d.Position.Line}
+		matched := -1
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("unexpected finding: %s", d)
+			continue
+		}
+		wants[k] = append(wants[k][:matched], wants[k][matched+1:]...)
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			t.Errorf("%s:%d: no finding matched %q", k.file, k.line, re)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package commsym enforces the symmetry contract of the comm collectives:
+// every rank of a communicator must reach every collective call the same
+// number of times, in the same order. A collective lexically guarded by a
+// rank-dependent conditional is the canonical deadlock shape — the guarded
+// ranks block in the collective while the rest never arrive — which the
+// per-rank op counter of the fault layer can only detect at runtime, after
+// the hang. Point-to-point Send/Recv are exempt: root-sends/leaf-receives
+// are naturally rank-conditional. The package also flags comm run-loop and
+// checkpoint/progress-manifest calls whose error result is silently
+// dropped, since a swallowed checkpoint error turns a recoverable crash
+// into a corrupt resume. Audited asymmetries carry //parsivet:commsym.
+package commsym
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"parsimone/internal/analysis"
+)
+
+// Analyzer is the commsym check.
+var Analyzer = &analysis.Analyzer{
+	Name:     "commsym",
+	Doc:      "flags comm collectives under rank-dependent conditionals and dropped comm/checkpoint errors",
+	Suppress: "commsym",
+	Run:      run,
+}
+
+// collectives are the comm entry points every rank must reach in lockstep.
+var collectives = map[string]bool{
+	"Bcast":          true,
+	"Gather":         true,
+	"AllGather":      true,
+	"AllGatherv":     true,
+	"Reduce":         true,
+	"AllReduce":      true,
+	"AllReduceSlice": true,
+	"ExScan":         true,
+	"Barrier":        true,
+	"Split":          true,
+}
+
+// checkpointName matches the durable-state helpers whose errors must not be
+// dropped.
+var checkpointName = regexp.MustCompile(`(?i)checkpoint|progress|manifest`)
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		// guarded collects the body extents of every rank-dependent
+		// if/switch so nested collective calls can be position-tested.
+		var guarded []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.IfStmt:
+				if rankDependent(pass, n.Cond) {
+					guarded = append(guarded, n.Body)
+					if n.Else != nil {
+						guarded = append(guarded, n.Else)
+					}
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil && rankDependent(pass, n.Tag) {
+					guarded = append(guarded, n.Body)
+				}
+			}
+			return true
+		})
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := commFunc(pass, n)
+				if fn == nil || !collectives[fn.Name()] {
+					return true
+				}
+				for _, g := range guarded {
+					if g.Pos() <= n.Pos() && n.End() <= g.End() {
+						pass.Reportf(n.Pos(),
+							"comm.%s under a rank-dependent conditional: collectives must be reached by every rank or they deadlock; restructure or annotate //parsivet:commsym",
+							fn.Name())
+						break
+					}
+				}
+			case *ast.ExprStmt:
+				call, ok := n.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calledFunc(pass, call)
+				if fn == nil || !returnsError(fn) {
+					return true
+				}
+				if fromComm(fn) || checkpointName.MatchString(fn.Name()) {
+					pass.Reportf(n.Pos(),
+						"result of %s dropped: comm/checkpoint errors decide abort propagation and resume safety; handle the error or annotate //parsivet:commsym",
+						fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// commFunc returns the called function if it belongs to the comm package.
+func commFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	fn := calledFunc(pass, call)
+	if fn != nil && fromComm(fn) {
+		return fn
+	}
+	return nil
+}
+
+// calledFunc resolves a call's callee to its function object, seeing
+// through generic instantiation.
+func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr: // explicit instantiation comm.Bcast[T](...)
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}
+
+func fromComm(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "comm" || strings.HasSuffix(pkg.Path(), "/comm")
+}
+
+// returnsError reports whether fn's last result is error.
+func returnsError(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// rankDependent reports whether cond's value depends on the caller's rank:
+// it calls (*comm.Comm).Rank or reads an identifier named like "rank".
+func rankDependent(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			if fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok &&
+				fn.Name() == "Rank" && fromComm(fn) {
+				found = true
+			}
+		case *ast.Ident:
+			if strings.Contains(strings.ToLower(n.Name), "rank") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

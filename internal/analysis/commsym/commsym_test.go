@@ -1,0 +1,14 @@
+package commsym_test
+
+import (
+	"testing"
+
+	"parsimone/internal/analysis/analysistest"
+	"parsimone/internal/analysis/commsym"
+)
+
+// TestCommSym proves the analyzer flags seeded rank-guarded collectives and
+// dropped comm/checkpoint errors against the real internal/comm package,
+// and accepts symmetric collectives, rank-guarded point-to-point traffic,
+// handled errors, and //parsivet:commsym.
+func TestCommSym(t *testing.T) { analysistest.Run(t, commsym.Analyzer, "driver") }

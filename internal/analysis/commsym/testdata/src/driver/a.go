@@ -1,0 +1,68 @@
+// Seeded commsym cases against the real internal/comm package.
+package driver
+
+import "parsimone/internal/comm"
+
+func guardedCollective(c *comm.Comm) {
+	if c.Rank() == 0 {
+		comm.Barrier(c) // want "rank-dependent conditional"
+	}
+}
+
+func guardedElseBranch(c *comm.Comm, v int) int {
+	if c.Rank() != 0 {
+		return v
+	} else {
+		return comm.AllReduce(c, v, func(a, b int) int { return a + b }) // want "rank-dependent conditional"
+	}
+}
+
+func rankVariableSwitch(c *comm.Comm) {
+	rank := c.Rank()
+	switch rank {
+	case 0:
+		comm.Barrier(c) // want "rank-dependent conditional"
+	}
+}
+
+func symmetricCollectives(c *comm.Comm, v int) int {
+	comm.Barrier(c)
+	return comm.Bcast(c, 0, v)
+}
+
+func pointToPointIsFine(c *comm.Comm, v int) int {
+	if c.Rank() == 0 {
+		comm.Send(c, 1, v)
+		return v
+	}
+	return comm.Recv[int](c, 0)
+}
+
+func audited(c *comm.Comm) {
+	if c.Rank() == 0 {
+		//parsivet:commsym — audited: sub-communicator of size 1 (testdata)
+		comm.Barrier(c)
+	}
+}
+
+func droppedRun(p int) {
+	comm.Run(p, func(c *comm.Comm) error { return nil }) // want "dropped"
+}
+
+func handledRun(p int) error {
+	_, err := comm.Run(p, func(c *comm.Comm) error { return nil })
+	return err
+}
+
+func saveCheckpoint(dir string) error {
+	_ = dir
+	return nil
+}
+
+func droppedCheckpoint() {
+	saveCheckpoint("state") // want "dropped"
+}
+
+func handledCheckpoint() error {
+	return saveCheckpoint("state")
+}

@@ -1,0 +1,109 @@
+// The driver runs a set of analyzers over loaded packages, applies the
+// //parsivet suppression convention, and renders findings as text or JSON.
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Analyze runs the analyzers over one package and returns the unsuppressed
+// findings in position order.
+func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	idx := buildSuppressionIndex(pkg.Fset, pkg.Files)
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			report: func(d Diagnostic) {
+				if !idx.suppressed(d) {
+					diags = append(diags, d)
+				}
+			},
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, nil
+}
+
+// Run loads the packages matching patterns and analyzes each, returning all
+// findings sorted by position.
+func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	pkgs, err := NewLoader().Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		diags, err := Analyze(pkg, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, diags...)
+	}
+	sortDiagnostics(all)
+	return all, nil
+}
+
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+// WriteText renders findings one per line in the go vet style.
+func WriteText(w io.Writer, diags []Diagnostic) error {
+	for _, d := range diags {
+		if _, err := fmt.Fprintln(w, d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// jsonDiagnostic is the machine-readable finding format of `parsivet -json`,
+// consumed by benchtab-style tooling to track counts across PRs.
+type jsonDiagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// WriteJSON renders findings as an indented JSON array (always an array,
+// "[]" when clean).
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File:     d.Position.Filename,
+			Line:     d.Position.Line,
+			Column:   d.Position.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}

@@ -1,0 +1,75 @@
+// Package floateq flags raw == / != / switch comparisons on floating-point
+// operands outside internal/score. The reproduction's exactness discipline
+// (score package doc) never compares accumulated floats directly: values
+// are quantized at ingestion, statistics are exact int64 fixed point, and
+// sampling weights go through score.QuantizeWeights / score.QuantizeProb.
+// A raw float equality elsewhere is either dead-on-arrival (drifted
+// accumulations never compare equal) or a platform trap (x87/FMA double
+// rounding), and in both cases it can differ between the optimized engine
+// and the baseline. Deliberate bit-equality checks — tie-breaking
+// comparators over already-quantization-derived scores, cross-engine
+// verification — carry //parsivet:floateq with a justification.
+package floateq
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parsimone/internal/analysis"
+)
+
+// Analyzer is the floateq check.
+var Analyzer = &analysis.Analyzer{
+	Name:     "floateq",
+	Doc:      "flags ==/!=/switch on float operands outside internal/score's quantization helpers",
+	Suppress: "floateq",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	// internal/score is the sanctioned home of float comparison: its
+	// quantizers define the comparison semantics everything else uses.
+	if pass.Pkg.Name() == "score" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				if !isFloat(pass.TypesInfo.TypeOf(n.X)) && !isFloat(pass.TypesInfo.TypeOf(n.Y)) {
+					return true
+				}
+				if isConst(pass, n.X) && isConst(pass, n.Y) {
+					return true
+				}
+				pass.Reportf(n.OpPos,
+					"raw float %s comparison: compare through score.QuantizeWeights/QuantizeProb-derived values, or annotate //parsivet:floateq with why bit equality is intended",
+					n.Op)
+			case *ast.SwitchStmt:
+				if n.Tag != nil && isFloat(pass.TypesInfo.TypeOf(n.Tag)) {
+					pass.Reportf(n.Switch,
+						"switch on float value compares with ==: quantize first or annotate //parsivet:floateq")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+func isConst(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}

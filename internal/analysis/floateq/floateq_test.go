@@ -1,0 +1,16 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"parsimone/internal/analysis/analysistest"
+	"parsimone/internal/analysis/floateq"
+)
+
+// TestFloatEq proves the analyzer flags seeded ==/!=/switch on floats and
+// accepts integer comparisons, constant folding, and //parsivet:floateq.
+func TestFloatEq(t *testing.T) { analysistest.Run(t, floateq.Analyzer, "cluster") }
+
+// TestScoreExempt proves internal/score — the sanctioned home of float
+// comparison semantics — is not checked.
+func TestScoreExempt(t *testing.T) { analysistest.Run(t, floateq.Analyzer, "score") }

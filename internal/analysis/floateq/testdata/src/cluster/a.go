@@ -1,0 +1,33 @@
+// Seeded floateq cases in a deterministic (non-score) package.
+package cluster
+
+func eq(a, b float64) bool {
+	return a == b // want "raw float == comparison"
+}
+
+func neq(a, b float32) bool {
+	return a != b // want "raw float != comparison"
+}
+
+func zeroCompare(x float64) bool {
+	return x == 0 // want "raw float == comparison"
+}
+
+func floatSwitch(x float64) int {
+	switch x { // want "switch on float"
+	case 0:
+		return 0
+	}
+	return 1
+}
+
+func intsAreFine(a, b int) bool { return a == b }
+
+func constFoldIsFine() bool { return 1.0 == 2.0 }
+
+func audited(a, b float64) bool {
+	//parsivet:floateq — bit-identity intended (testdata)
+	return a == b
+}
+
+func orderingIsFine(a, b float64) bool { return a < b }

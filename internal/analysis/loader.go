@@ -1,0 +1,241 @@
+// The loader enumerates packages with `go list` and type-checks them from
+// source with go/types. It deliberately avoids golang.org/x/tools/go/packages
+// (and any module download): `go list` reads only the local module and
+// GOROOT, so `make lint` needs no network and reuses the go command's own
+// caches. Dependencies are checked with IgnoreFuncBodies for speed; only the
+// packages under analysis get full bodies and a populated types.Info.
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one parsed, fully type-checked package under analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listedPackage is the subset of `go list -json` output the loader uses.
+type listedPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Imports    []string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *listError
+}
+
+type listError struct {
+	Err string
+}
+
+// Loader loads and type-checks packages on demand, caching by import path.
+// Every import path is checked exactly once — named packages fully (bodies
+// and Info), pure dependencies with IgnoreFuncBodies — so all type
+// identities are consistent regardless of the order packages are reached.
+type Loader struct {
+	fset    *token.FileSet
+	meta    map[string]*listedPackage
+	checked map[string]*types.Package
+	full    map[string]*Package
+}
+
+// NewLoader returns an empty loader.
+func NewLoader() *Loader {
+	return &Loader{
+		fset:    token.NewFileSet(),
+		meta:    map[string]*listedPackage{},
+		checked: map[string]*types.Package{},
+		full:    map[string]*Package{},
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// goList runs `go list -e -deps -json args...` and merges the result into
+// the metadata cache. CGO is disabled so every listed package has pure-Go
+// sources the type checker can consume.
+func (l *Loader) goList(args ...string) error {
+	cmd := exec.Command("go", append([]string{"list", "-e", "-deps", "-json"}, args...)...)
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return err
+	}
+	if err := cmd.Start(); err != nil {
+		return err
+	}
+	dec := json.NewDecoder(out)
+	for {
+		var p listedPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			cmd.Wait()
+			return fmt.Errorf("analysis: decoding go list output: %v", err)
+		}
+		if _, dup := l.meta[p.ImportPath]; !dup {
+			l.meta[p.ImportPath] = &p
+		}
+	}
+	if err := cmd.Wait(); err != nil {
+		return fmt.Errorf("analysis: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	return nil
+}
+
+// Load lists the packages matching patterns and returns the named (non-dep)
+// ones fully type-checked, sorted by import path.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if err := l.goList(patterns...); err != nil {
+		return nil, err
+	}
+	var targets []*listedPackage
+	for _, m := range l.meta {
+		if !m.DepOnly {
+			targets = append(targets, m)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	pkgs := make([]*Package, 0, len(targets))
+	for _, m := range targets {
+		if _, err := l.importPackage(m.ImportPath); err != nil {
+			return nil, err
+		}
+		p, ok := l.full[m.ImportPath]
+		if !ok {
+			return nil, fmt.Errorf("analysis: %s was not fully checked", m.ImportPath)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// parseFiles parses the listed Go files of m with comments retained.
+func (l *Loader) parseFiles(m *listedPackage) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(m.GoFiles))
+	for _, name := range m.GoFiles {
+		f, err := parser.ParseFile(l.fset, filepath.Join(m.Dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newInfo returns a types.Info with every map analyzers consult.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// CheckFiles parses and type-checks an explicit file list as a package with
+// the given import path, resolving its imports through the loader. The
+// analysistest harness uses it to load testdata packages that live outside
+// the module's package graph.
+func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
+	files := make([]*ast.File, 0, len(filenames))
+	for _, name := range filenames {
+		f, err := parser.ParseFile(l.fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	cfg := &types.Config{Importer: &pkgImporter{l: l}, FakeImportC: true}
+	tpkg, err := cfg.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
+	}
+	return &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// importPackage returns the type-checked package at path, listing and
+// checking it on first use: named (non-dep) packages get a full check with
+// bodies and Info, pure dependencies are checked with IgnoreFuncBodies.
+func (l *Loader) importPackage(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := l.checked[path]; ok {
+		return p, nil
+	}
+	m, ok := l.meta[path]
+	if !ok {
+		if err := l.goList(path); err != nil {
+			return nil, err
+		}
+		if m, ok = l.meta[path]; !ok {
+			return nil, fmt.Errorf("analysis: go list did not report %q", path)
+		}
+	}
+	if m.Error != nil {
+		return nil, fmt.Errorf("analysis: %s: %s", m.ImportPath, m.Error.Err)
+	}
+	files, err := l.parseFiles(m)
+	if err != nil {
+		return nil, err
+	}
+	cfg := &types.Config{
+		Importer:         &pkgImporter{l: l, importMap: m.ImportMap},
+		FakeImportC:      true,
+		IgnoreFuncBodies: m.DepOnly,
+	}
+	var info *types.Info
+	if !m.DepOnly {
+		info = newInfo()
+	}
+	tpkg, err := cfg.Check(m.ImportPath, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %v", m.ImportPath, err)
+	}
+	l.checked[m.ImportPath] = tpkg
+	if !m.DepOnly {
+		l.full[m.ImportPath] = &Package{Path: m.ImportPath, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	}
+	return tpkg, nil
+}
+
+// pkgImporter resolves one package's imports through the loader, applying
+// the package's ImportMap (vendored path renames inside GOROOT).
+type pkgImporter struct {
+	l         *Loader
+	importMap map[string]string
+}
+
+func (im *pkgImporter) Import(path string) (*types.Package, error) {
+	if mapped, ok := im.importMap[path]; ok {
+		path = mapped
+	}
+	return im.l.importPackage(path)
+}

@@ -1,0 +1,161 @@
+// Package maporder flags `range` over a map inside the deterministic
+// packages. Go randomizes map-iteration order per range, so any value that
+// depends on visitation order — float accumulation, first-wins selection,
+// serialized output — silently varies between runs and between ranks,
+// breaking the bit-identity invariant the paper's parallel design rests on.
+//
+// Two shapes are accepted without annotation:
+//
+//   - the collect-then-sort idiom: a loop whose body only appends to one
+//     slice, where a later statement in the same block sorts that slice;
+//   - loops carrying a //parsivet:ordered suppression with a justification
+//     (e.g. the loop only computes an order-free reduction such as a max
+//     over ints, or populates another map).
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parsimone/internal/analysis"
+)
+
+// Analyzer is the maporder check.
+var Analyzer = &analysis.Analyzer{
+	Name:     "maporder",
+	Doc:      "flags range over a map in deterministic packages unless keys are collected and sorted",
+	Suppress: "ordered",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.IsDeterministic(pass.Pkg) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			list := stmtList(n)
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMap(pass.TypesInfo.TypeOf(rs.X)) {
+					continue
+				}
+				if collectThenSort(pass, rs, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.For,
+					"range over map %s in deterministic package %q: iteration order is randomized; collect and sort keys first, or annotate //parsivet:ordered with a justification",
+					types.ExprString(rs.X), pass.Pkg.Name())
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// stmtList returns the statement list owned by n, if any. Every statement —
+// and hence every range loop — lives in exactly one such list, which also
+// holds the statements that follow it.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// collectThenSort reports whether rs is the sanctioned collect-then-sort
+// idiom: every body statement appends to the same slice, and a following
+// statement in the enclosing block passes that slice to a sort call.
+func collectThenSort(pass *analysis.Pass, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	target := ""
+	for _, stmt := range rs.Body.List {
+		t, ok := appendTarget(pass, stmt)
+		if !ok || (target != "" && t != target) {
+			return false
+		}
+		target = t
+	}
+	if target == "" {
+		return false
+	}
+	for _, stmt := range rest {
+		sorted := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isSortCall(pass, call) {
+				for _, arg := range call.Args {
+					if types.ExprString(arg) == target {
+						sorted = true
+					}
+				}
+			}
+			return !sorted
+		})
+		if sorted {
+			return true
+		}
+	}
+	return false
+}
+
+// appendTarget matches `x = append(x, ...)` and returns x's rendering.
+func appendTarget(pass *analysis.Pass, stmt ast.Stmt) (string, bool) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return "", false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return "", false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return "", false
+	}
+	lhs := types.ExprString(as.Lhs[0])
+	if types.ExprString(call.Args[0]) != lhs {
+		return "", false
+	}
+	return lhs, true
+}
+
+// isSortCall recognizes the sort and slices sorting entry points.
+func isSortCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	switch fn.Pkg().Path() {
+	case "sort":
+		switch fn.Name() {
+		case "Ints", "Strings", "Float64s", "Slice", "SliceStable", "Sort", "Stable":
+			return true
+		}
+	case "slices":
+		switch fn.Name() {
+		case "Sort", "SortFunc", "SortStableFunc":
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,17 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"parsimone/internal/analysis/analysistest"
+	"parsimone/internal/analysis/maporder"
+)
+
+// TestMapOrder proves the analyzer catches seeded unordered iterations in a
+// deterministic package and accepts the collect-then-sort idiom and the
+// //parsivet:ordered suppression.
+func TestMapOrder(t *testing.T) { analysistest.Run(t, maporder.Analyzer, "core") }
+
+// TestNonDeterministicPackage proves packages outside the deterministic set
+// are not checked at all.
+func TestNonDeterministicPackage(t *testing.T) { analysistest.Run(t, maporder.Analyzer, "other") }

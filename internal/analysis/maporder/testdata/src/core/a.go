@@ -1,0 +1,56 @@
+// Seeded maporder cases. The package is named "core" so it falls inside
+// the deterministic set the analyzer guards.
+package core
+
+import "sort"
+
+func plainRange(m map[string]int) int {
+	total := 0
+	for _, v := range m { // want "range over map m"
+		total += v
+	}
+	return total
+}
+
+func collectThenSortKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func collectWithoutSort(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "range over map m"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func collectThenSortSlice(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func suppressed(m map[string]int) int {
+	n := 0
+	//parsivet:ordered — element count, independent of visitation order
+	for range m {
+		n++
+	}
+	return n
+}
+
+func sliceRangeIsFine(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}

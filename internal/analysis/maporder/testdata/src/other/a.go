@@ -1,0 +1,11 @@
+// Package other is outside the deterministic set: unordered iteration is
+// allowed here and the analyzer must stay silent.
+package other
+
+func plainRange(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

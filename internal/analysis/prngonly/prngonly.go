@@ -1,0 +1,80 @@
+// Package prngonly forces every stochastic draw through internal/prng and
+// every timestamp through the observability layer. The paper's design makes
+// all ranks replay one MRG3 substream schedule derived from the run seed;
+// an import of math/rand (host PRNG, unseeded or differently seeded per
+// rank) or a wallclock read feeding a decision silently forks that
+// schedule. The obs, trace, and bench packages are exempt — their
+// timestamps never feed learned-network state — as are test files, which
+// the parsivet driver does not load at all. Audited wallclock reads in
+// timing harnesses (cmd/benchtab, examples) carry //parsivet:wallclock.
+package prngonly
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+
+	"parsimone/internal/analysis"
+)
+
+// Analyzer is the prngonly check.
+var Analyzer = &analysis.Analyzer{
+	Name:     "prngonly",
+	Doc:      "flags math/rand and crypto/rand imports and wallclock reads outside obs/trace/bench",
+	Suppress: "wallclock",
+	Run:      run,
+}
+
+// bannedImports are the host randomness sources internal/prng replaces.
+var bannedImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// clockReads are the time package's wallclock entry points.
+var clockReads = map[string]bool{
+	"time.Now":   true,
+	"time.Since": true,
+	"time.Until": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if analysis.WallclockExempt[pass.Pkg.Name()] {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if bannedImports[path] {
+				pass.Reportf(imp.Pos(),
+					"import of %s bypasses internal/prng: all stochastic draws must come from the run seed's MRG3 substreams",
+					path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if clockReads[fn.FullName()] {
+				pass.Reportf(call.Pos(),
+					"%s is a wallclock read outside obs/trace/bench: deterministic code must not observe time; annotate //parsivet:wallclock if this is audited harness timing",
+					fn.FullName())
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package prngonly_test
+
+import (
+	"testing"
+
+	"parsimone/internal/analysis/analysistest"
+	"parsimone/internal/analysis/prngonly"
+)
+
+// TestPRNGOnly proves the analyzer flags seeded math/rand and crypto/rand
+// imports and wallclock reads, and accepts //parsivet:wallclock sites and
+// timer construction.
+func TestPRNGOnly(t *testing.T) { analysistest.Run(t, prngonly.Analyzer, "engine") }
+
+// TestExemptPackage proves the obs/trace/bench allowlist: a package named
+// obs may read the wallclock freely.
+func TestExemptPackage(t *testing.T) { analysistest.Run(t, prngonly.Analyzer, "obs") }

@@ -1,0 +1,34 @@
+// Seeded prngonly cases in a non-exempt package.
+package engine
+
+import (
+	_ "crypto/rand" // want "bypasses internal/prng"
+	"math/rand"     // want "bypasses internal/prng"
+	"time"
+)
+
+func draw() int {
+	// Only the import is flagged; one finding per banned package.
+	return rand.Int()
+}
+
+func stamp() time.Time {
+	return time.Now() // want "wallclock read"
+}
+
+func age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want "wallclock read"
+}
+
+func deadline(t0 time.Time) time.Duration {
+	return time.Until(t0) // want "wallclock read"
+}
+
+func audited() time.Time {
+	//parsivet:wallclock — audited harness timing (testdata)
+	return time.Now()
+}
+
+func timersAreFine(d time.Duration) *time.Timer {
+	return time.NewTimer(d)
+}

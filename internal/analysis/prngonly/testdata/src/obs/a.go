@@ -1,0 +1,7 @@
+// Package obs is wallclock-exempt: observability timestamps never feed
+// learned-network state.
+package obs
+
+import "time"
+
+func now() int64 { return time.Now().UnixNano() }

@@ -1,0 +1,16 @@
+package seqcount_test
+
+import (
+	"testing"
+
+	"parsimone/internal/analysis/analysistest"
+	"parsimone/internal/analysis/seqcount"
+)
+
+// TestSeqCount proves the analyzer flags a seeded ad-hoc goroutine in a
+// deterministic package and accepts the //parsivet:seqcount suppression.
+func TestSeqCount(t *testing.T) { analysistest.Run(t, seqcount.Analyzer, "ganesh") }
+
+// TestNonDeterministicPackage proves goroutines outside the deterministic
+// set (e.g. the comm runtime, the pool itself) are not flagged.
+func TestNonDeterministicPackage(t *testing.T) { analysistest.Run(t, seqcount.Analyzer, "other") }

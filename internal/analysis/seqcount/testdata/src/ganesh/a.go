@@ -1,0 +1,22 @@
+// Seeded seqcount cases. The package is named "ganesh" so it falls inside
+// the deterministic set the analyzer guards.
+package ganesh
+
+func launch(work func()) {
+	go work() // want "ad-hoc goroutine"
+}
+
+func launchClosure(n int) {
+	go func() { // want "ad-hoc goroutine"
+		_ = n * n
+	}()
+}
+
+func audited(work func()) {
+	//parsivet:seqcount — audited launch (testdata)
+	go work()
+}
+
+func sequentialIsFine(work func()) {
+	work()
+}

@@ -1,0 +1,7 @@
+// Package other is outside the deterministic set: it may launch goroutines
+// (as the comm runtime and internal/pool do).
+package other
+
+func launch(work func()) {
+	go work()
+}

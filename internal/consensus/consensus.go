@@ -62,6 +62,7 @@ func (p Params) withDefaults() Params {
 	if p.MinClusterSize <= 0 {
 		p.MinClusterSize = 2
 	}
+	//parsivet:floateq — zero-value sentinel for "option unset", never a computed float
 	if p.MinEigenvalue == 0 {
 		p.MinEigenvalue = 1.0
 	}
@@ -159,6 +160,7 @@ func extract(sub *matrix.Sym, v []float64, minSize int, supportFrac float64) []i
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool {
+		//parsivet:floateq — exact compare of one eigenvector's own entries; ties break on index
 		if v[order[a]] != v[order[b]] {
 			return v[order[a]] > v[order[b]]
 		}

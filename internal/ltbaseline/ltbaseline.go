@@ -295,6 +295,7 @@ func (e *gibbs) learnSplits(moduleVars [][]int, trees [][]*tree.Tree, par splits
 		minSteps = 8
 	}
 	ciHW := par.CIHalfWidth
+	//parsivet:floateq — zero-value sentinel for "option unset", never a computed float
 	if ciHW == 0 {
 		ciHW = 0.08
 	}
@@ -447,6 +448,7 @@ func scoreParents(assigned []splits.Assigned, mi int) []module.ParentScore {
 		out = append(out, module.ParentScore{Parent: parent, Score: s.num / s.den, Count: s.count})
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//parsivet:floateq — exact compare of identical-provenance scores; ties break on Parent
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}

@@ -29,6 +29,7 @@ func FromDense(n int, a []float64) (*Sym, error) {
 	}
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			//parsivet:floateq — symmetry validation wants bit equality of mirrored cells
 			if a[i*n+j] != a[j*n+i] {
 				return nil, fmt.Errorf("matrix: not symmetric at (%d,%d)", i, j)
 			}
@@ -116,6 +117,7 @@ func PowerIteration(s *Sym, maxIter int, tol float64) PowerResult {
 	for it := 1; it <= maxIter; it++ {
 		s.MulVec(x, y)
 		norm := Norm2(y)
+		//parsivet:floateq — exact-zero null-space test; a sum of squares is 0 iff all terms are
 		if norm == 0 {
 			// x is in the null space; for non-negative matrices this
 			// means the matrix is zero on the support of x.

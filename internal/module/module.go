@@ -212,6 +212,7 @@ func scoreParents(assigned []splits.Assigned, module int) []ParentScore {
 		out = append(out, ParentScore{Parent: parent, Score: s.num / s.den, Count: s.count})
 	}
 	sort.Slice(out, func(i, j int) bool {
+		//parsivet:floateq — exact compare of identical-provenance scores; ties break on Parent
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}

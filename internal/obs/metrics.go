@@ -331,6 +331,7 @@ func (h *Histogram) writePrometheus(w io.Writer, name, labels string) error {
 
 // formatBound renders a bucket bound the way Prometheus expects.
 func formatBound(b float64) string {
+	//parsivet:floateq — integrality test for rendering; Trunc equality is exact by construction
 	if b == math.Trunc(b) && math.Abs(b) < 1e15 {
 		return fmt.Sprintf("%d", int64(b))
 	}

@@ -146,6 +146,7 @@ func (g *MRG3) Normal() float64 {
 		return g.normVal
 	}
 	var u float64
+	//parsivet:floateq — rejects the exact 0 the uniform can emit before log(u)
 	for u == 0 {
 		u = g.Float64()
 	}

@@ -129,6 +129,7 @@ func (n *Network) ModuleGraph() []Edge {
 func EnforceAcyclic(edges []Edge, numModules int) []Edge {
 	ordered := append([]Edge(nil), edges...)
 	sort.Slice(ordered, func(i, j int) bool {
+		//parsivet:floateq — exact compare of identical-provenance scores; ties break on (From,To)
 		if ordered[i].Score != ordered[j].Score {
 			return ordered[i].Score > ordered[j].Score
 		}
@@ -274,6 +275,7 @@ func parentsEqual(a, b []Parent) bool {
 		return false
 	}
 	for i := range a {
+		//parsivet:floateq — bit-identity is the point: §5.2.1 "exactly the same network"
 		if a[i].Index != b[i].Index || a[i].Score != b[i].Score || a[i].Count != b[i].Count {
 			return false
 		}
@@ -306,24 +308,31 @@ func AdjustedRandIndex(a, b []int) float64 {
 	if n < 2 {
 		return 0
 	}
-	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
-	var sumNij, sumAi, sumBj float64
+	// The pair counts are accumulated in exact integers so the sums are
+	// independent of map-iteration order; summing float64 terms here made
+	// the ARI vary in the last ULP from run to run.
+	choose2 := func(x int) int64 { return int64(x) * int64(x-1) / 2 }
+	var sumNij, sumAi, sumBj int64
+	//parsivet:ordered — integer sum, associative, order-free
 	for _, c := range counts {
 		sumNij += choose2(c)
 	}
+	//parsivet:ordered — integer sum, associative, order-free
 	for _, c := range aCounts {
 		sumAi += choose2(c)
 	}
+	//parsivet:ordered — integer sum, associative, order-free
 	for _, c := range bCounts {
 		sumBj += choose2(c)
 	}
 	total := choose2(n)
-	expected := sumAi * sumBj / total
-	maxIndex := (sumAi + sumBj) / 2
+	expected := float64(sumAi) * float64(sumBj) / float64(total)
+	maxIndex := float64(sumAi+sumBj) / 2
+	//parsivet:floateq — zero-denominator guard for the division below
 	if maxIndex == expected {
 		return 0
 	}
-	return (sumNij - expected) / (maxIndex - expected)
+	return (float64(sumNij) - expected) / (maxIndex - expected)
 }
 
 // PrecisionAtK returns the fraction of the top-k ranked items that appear in

@@ -103,6 +103,7 @@ func (p Params) withDefaults(n int) Params {
 	if p.MinSteps <= 0 {
 		p.MinSteps = 8
 	}
+	//parsivet:floateq — zero-value sentinel for "option unset", never a computed float
 	if p.CIHalfWidth == 0 {
 		p.CIHalfWidth = 0.08
 	}

@@ -58,6 +58,7 @@ func (cfg Config) withDefaults() Config {
 		}
 		cfg.CondGroups = max(2, g)
 	}
+	//parsivet:floateq — zero-value sentinel for "option unset", never a computed float
 	if cfg.Noise == 0 {
 		cfg.Noise = 0.4
 	}

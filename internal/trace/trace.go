@@ -99,6 +99,7 @@ func Imbalance(perRank []float64) float64 {
 			maxv = w
 		}
 	}
+	//parsivet:floateq — a sum of non-negative weights is exactly 0 iff every weight is
 	if sum == 0 {
 		return 0
 	}

@@ -179,6 +179,7 @@ func better(a, b scoredIndex) scoredIndex {
 	if a.Index < 0 {
 		return b
 	}
+	//parsivet:floateq — Algorithm 4's exact max reduction: equal bits tie-break on index
 	if a.Score > b.Score || (a.Score == b.Score && a.Index < b.Index) {
 		return a
 	}
