@@ -50,12 +50,14 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzReadTSV -fuzztime 10s ./internal/dataset/
 
 # Short native-fuzzing pass over the score quantizers every selection path
-# shares: no panics on NaN/±Inf/subnormals, weights on [0, MaxWeight], and
-# monotone mappings. One invocation per target (go test allows a single
-# -fuzz match per run).
+# shares — no panics on NaN/±Inf/subnormals, weights on [0, MaxWeight], and
+# monotone mappings — and the precomputed scoring kernel's bit-identity with
+# Prior.LogML over arbitrary Stats and priors. One invocation per target (go
+# test allows a single -fuzz match per run).
 fuzz-score:
 	$(GO) test -run '^$$' -fuzz 'FuzzQuantizeWeights$$' -fuzztime 10s ./internal/score/
 	$(GO) test -run '^$$' -fuzz 'FuzzQuantizeProb$$' -fuzztime 10s ./internal/score/
+	$(GO) test -run '^$$' -fuzz 'FuzzKernelLogML$$' -fuzztime 10s ./internal/score/
 
 # Regenerate the full reduced-scale reproduction (minutes).
 bench:

@@ -145,11 +145,20 @@ func run(args []string, stdout io.Writer) error {
 		}
 		for _, name := range strings.Split(*regulators, ",") {
 			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
 			i, ok := index[name]
 			if !ok {
 				return fmt.Errorf("regulator %q not in the data set", name)
 			}
 			opt.Module.Splits.Candidates = append(opt.Module.Splits.Candidates, i)
+		}
+		// Fail fast here rather than after data loading inside Learn: a list
+		// of only separators/blanks (e.g. -regulators ",") would otherwise
+		// produce the non-nil empty Candidates slice splits.Params rejects.
+		if len(opt.Module.Splits.Candidates) == 0 {
+			return fmt.Errorf("-regulators %q names no variables — the candidate-parent list would be empty", *regulators)
 		}
 	}
 

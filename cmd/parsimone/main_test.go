@@ -141,6 +141,13 @@ func TestRunErrors(t *testing.T) {
 	if err := run([]string{"-in", in, "-regulators", "NOPE"}, new(bytes.Buffer)); err == nil {
 		t.Fatal("unknown regulator accepted")
 	}
+	// A -regulators value of only separators must fail fast, not reach Learn
+	// with a non-nil empty candidate list.
+	for _, regs := range []string{",", " , ", ",,"} {
+		if err := run([]string{"-in", in, "-regulators", regs}, new(bytes.Buffer)); err == nil {
+			t.Fatalf("-regulators %q accepted", regs)
+		}
+	}
 	// -p 0 and negatives must be rejected, not silently run sequentially.
 	for _, p := range []string{"0", "-3"} {
 		if err := run([]string{"-in", in, "-p", p}, new(bytes.Buffer)); err == nil {

@@ -1,12 +1,13 @@
 // Command parsivet is the repo's determinism linter: a multichecker of
-// five analyzers that statically enforce the invariants the reproduction's
+// six analyzers that statically enforce the invariants the reproduction's
 // bit-identity guarantee rests on (see internal/analysis):
 //
-//	maporder  — no unordered map iteration in deterministic packages
-//	prngonly  — stochastic draws only via internal/prng; no wallclock reads
-//	floateq   — no raw float ==/!= outside internal/score's quantizers
-//	commsym   — no rank-guarded collectives, no dropped comm/checkpoint errors
-//	seqcount  — no ad-hoc goroutines bypassing internal/pool
+//	maporder    — no unordered map iteration in deterministic packages
+//	prngonly    — stochastic draws only via internal/prng; no wallclock reads
+//	floateq     — no raw float ==/!= outside internal/score's quantizers
+//	commsym     — no rank-guarded collectives, no dropped comm/checkpoint errors
+//	seqcount    — no ad-hoc goroutines bypassing internal/pool
+//	scorekernel — no direct math.Lgamma outside internal/score's LogML kernels
 //
 // Usage:
 //
@@ -33,6 +34,7 @@ import (
 	"parsimone/internal/analysis/floateq"
 	"parsimone/internal/analysis/maporder"
 	"parsimone/internal/analysis/prngonly"
+	"parsimone/internal/analysis/scorekernel"
 	"parsimone/internal/analysis/seqcount"
 )
 
@@ -42,6 +44,7 @@ var analyzers = []*analysis.Analyzer{
 	floateq.Analyzer,
 	commsym.Analyzer,
 	seqcount.Analyzer,
+	scorekernel.Analyzer,
 }
 
 func main() {

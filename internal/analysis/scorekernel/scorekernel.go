@@ -1,0 +1,58 @@
+// Package scorekernel keeps the marginal-likelihood arithmetic inside
+// internal/score. The exact-bit-identity argument for the precomputed
+// scoring kernel (DESIGN.md §11) holds only because every LogML evaluation
+// in the repo goes through Prior.LogML or Kernel.LogML, whose expression
+// shapes are pinned against each other by differential tests. A direct
+// math.Lgamma call in engine code is a second, unpinned spelling of the
+// score: it can drift from the kernel (different expression shape, FMA
+// contraction) and silently break cross-engine bit identity — and it
+// bypasses the kernel's tables, re-paying the transcendental cost the hot
+// loop was restructured to avoid. Deliberate exceptions carry
+// //parsivet:scorekernel with a justification.
+package scorekernel
+
+import (
+	"go/ast"
+	"go/types"
+
+	"parsimone/internal/analysis"
+)
+
+// Analyzer is the scorekernel check.
+var Analyzer = &analysis.Analyzer{
+	Name:     "scorekernel",
+	Doc:      "flags direct math.Lgamma calls outside internal/score (score through Prior.LogML or Kernel.LogML)",
+	Suppress: "scorekernel",
+	Run:      run,
+}
+
+func run(pass *analysis.Pass) error {
+	// internal/score is the sanctioned home of the marginal-likelihood
+	// arithmetic: Prior.LogML, the kernel tables, and their differential
+	// tests live there.
+	if pass.Pkg.Name() == "score" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+			if !ok {
+				return true
+			}
+			if fn.FullName() == "math.Lgamma" {
+				pass.Reportf(call.Pos(),
+					"direct math.Lgamma call outside internal/score: score through Prior.LogML or Kernel.LogML so the kernel's bit-identity pinning covers it, or annotate //parsivet:scorekernel with why this evaluation is not a block score")
+			}
+			return true
+		})
+	}
+	return nil
+}

@@ -1,0 +1,17 @@
+package scorekernel_test
+
+import (
+	"testing"
+
+	"parsimone/internal/analysis/analysistest"
+	"parsimone/internal/analysis/scorekernel"
+)
+
+// TestScoreKernel proves the analyzer flags direct math.Lgamma calls in
+// engine code, leaves other math functions alone, and honors
+// //parsivet:scorekernel.
+func TestScoreKernel(t *testing.T) { analysistest.Run(t, scorekernel.Analyzer, "engine") }
+
+// TestScoreExempt proves internal/score — where the kernel and its
+// differential tests live — is not checked.
+func TestScoreExempt(t *testing.T) { analysistest.Run(t, scorekernel.Analyzer, "score") }

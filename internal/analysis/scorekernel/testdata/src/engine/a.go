@@ -1,0 +1,25 @@
+// Seeded scorekernel cases in a deterministic (non-score) package.
+package engine
+
+import "math"
+
+func directLgamma(x float64) float64 {
+	v, _ := math.Lgamma(x) // want "direct math.Lgamma call outside internal/score"
+	return v
+}
+
+func inExpression(x float64) float64 {
+	a, _ := math.Lgamma(x + 0.5) // want "direct math.Lgamma call outside internal/score"
+	b, _ := math.Lgamma(x)       // want "direct math.Lgamma call outside internal/score"
+	return a - b
+}
+
+func otherMathIsFine(x float64) float64 {
+	return math.Log(x) + math.Sqrt(x)
+}
+
+func audited(x float64) float64 {
+	//parsivet:scorekernel — not a block score (testdata)
+	v, _ := math.Lgamma(x)
+	return v
+}

@@ -1,0 +1,10 @@
+// Package score is exempt: it is the sanctioned home of the
+// marginal-likelihood arithmetic and the kernel's own tables.
+package score
+
+import "math"
+
+func fill(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}

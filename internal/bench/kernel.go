@@ -1,0 +1,63 @@
+// The split-scoring kernel experiment: end-to-end effect of the
+// precomputed exact scoring kernel (internal/score.Kernel) on the full
+// learning run, measured by running core.Learn with the kernel tables
+// disabled (every posterior evaluation scores through Prior.LogML — the
+// pre-kernel path) and enabled, on the same data and seed. The kernel is
+// an exact re-expression of the score, so the learned networks must be
+// identical; the table double-checks that alongside the speedup. The
+// micro-level comparison against the verbatim pre-kernel posterior loop
+// lives in BenchmarkPosterior (internal/splits).
+
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"parsimone/internal/core"
+	"parsimone/internal/result"
+)
+
+// KernelTable measures learning run time with the scoring kernel disabled
+// ("legacy", the pre-kernel Prior.LogML path) vs enabled, over the
+// sequential-experiment grid.
+func KernelTable(scale Scale) *Table {
+	t := &Table{
+		Title:  "Scoring kernel — pre-kernel (direct Prior.LogML) vs precomputed tables",
+		Header: []string{"n", "m", "candidates", "legacy", "kernel", "speedup", "identical"},
+		Notes: []string{
+			"the kernel tables every count-only term of the normal-gamma score; 'identical' is the bit-identity check",
+			"single-measurement wall clocks; BenchmarkPosterior isolates the hot loop itself",
+		},
+	}
+	ns, ms := table1Sizes(scale)
+	nMax, mMax := ns[len(ns)-1], ms[len(ms)-1]
+	for _, n := range ns {
+		for _, m := range ms {
+			d := subsetData(nMax, mMax, 42, n, m)
+			legacy := runOptions(7)
+			legacy.Module.Splits.DisableKernel = true
+			startLegacy := time.Now()
+			ref, err := core.Learn(d, legacy)
+			if err != nil {
+				panic(err)
+			}
+			legacyDur := time.Since(startLegacy)
+			startKern := time.Now()
+			fast, err := core.Learn(d, runOptions(7))
+			if err != nil {
+				panic(err)
+			}
+			kernDur := time.Since(startKern)
+			t.AddRow(
+				fmt.Sprint(n), fmt.Sprint(m),
+				// Candidates nil defaults to every variable.
+				fmt.Sprint(n),
+				fmtDur(legacyDur), fmtDur(kernDur),
+				fmt.Sprintf("%.2f", float64(legacyDur)/float64(kernDur)),
+				fmt.Sprint(result.Equal(ref.Network, fast.Network)),
+			)
+		}
+	}
+	return t
+}

@@ -35,6 +35,10 @@ type ObsCluster struct {
 type ObsClusters struct {
 	Q     *score.QData
 	Prior score.Prior
+	// Kernel, when non-nil, serves LogML evaluations from the precomputed
+	// score kernel — bit-identical to Prior.LogML (score.Kernel), so gains
+	// and scores are unchanged. Must be built for the same Prior.
+	Kernel *score.Kernel
 	// Vars are the variables whose cells the blocks cover.
 	Vars []int
 	// Assign maps each observation to its cluster index, or -1 while the
@@ -42,6 +46,19 @@ type ObsClusters struct {
 	Assign   []int
 	Clusters []*ObsCluster
 }
+
+// logML evaluates the prior's marginal log-likelihood, through the kernel
+// when one is attached.
+func (oc *ObsClusters) logML(s score.Stats) float64 {
+	if oc.Kernel != nil {
+		return oc.Kernel.LogML(s)
+	}
+	return oc.Prior.LogML(s)
+}
+
+// UseKernel attaches k (which must be built for oc.Prior) so every
+// subsequent LogML evaluation goes through the precomputed tables.
+func (oc *ObsClusters) UseKernel(k *score.Kernel) { oc.Kernel = k }
 
 // NewRandomObsClusters partitions the m observations of q into `count`
 // clusters uniformly at random (consuming m draws from g in observation
@@ -125,7 +142,7 @@ func (oc *ObsClusters) ColumnStats(j int) score.Stats {
 func (oc *ObsClusters) Score() float64 {
 	var total float64
 	for _, c := range oc.Clusters {
-		total += oc.Prior.LogML(c.Stats)
+		total += oc.logML(c.Stats)
 	}
 	return total
 }
@@ -198,10 +215,10 @@ func (oc *ObsClusters) DetachObs(j int) score.Stats {
 // placing it in a new singleton cluster.
 func (oc *ObsClusters) GainAttachObs(col score.Stats, to int) float64 {
 	if to == len(oc.Clusters) {
-		return oc.Prior.LogML(col)
+		return oc.logML(col)
 	}
 	c := oc.Clusters[to]
-	return oc.Prior.LogML(c.Stats.Plus(col)) - oc.Prior.LogML(c.Stats)
+	return oc.logML(c.Stats.Plus(col)) - oc.logML(c.Stats)
 }
 
 // AttachObs places a detached observation j into cluster `to`;
@@ -227,8 +244,8 @@ func (oc *ObsClusters) GainMergeObs(src, dst int) float64 {
 		return 0
 	}
 	a, b := oc.Clusters[src], oc.Clusters[dst]
-	return oc.Prior.LogML(a.Stats.Plus(b.Stats)) -
-		oc.Prior.LogML(a.Stats) - oc.Prior.LogML(b.Stats)
+	return oc.logML(a.Stats.Plus(b.Stats)) -
+		oc.logML(a.Stats) - oc.logML(b.Stats)
 }
 
 // MergeObs merges cluster src into dst and removes src.
@@ -312,10 +329,32 @@ type VarCluster struct {
 type CoClustering struct {
 	Q     *score.QData
 	Prior score.Prior
+	// Kernel, when non-nil, serves LogML evaluations from the precomputed
+	// score kernel — bit-identical to Prior.LogML (score.Kernel). Propagated
+	// to every nested observation partition by UseKernel and AttachVar.
+	Kernel *score.Kernel
 	// Assign maps each variable to its cluster index, or -1 while
 	// detached.
 	Assign   []int
 	Clusters []*VarCluster
+}
+
+// logML evaluates the prior's marginal log-likelihood, through the kernel
+// when one is attached.
+func (cc *CoClustering) logML(s score.Stats) float64 {
+	if cc.Kernel != nil {
+		return cc.Kernel.LogML(s)
+	}
+	return cc.Prior.LogML(s)
+}
+
+// UseKernel attaches k (which must be built for cc.Prior) to the
+// co-clustering and every nested observation partition.
+func (cc *CoClustering) UseKernel(k *score.Kernel) {
+	cc.Kernel = k
+	for _, vc := range cc.Clusters {
+		vc.Obs.Kernel = k
+	}
 }
 
 // NewRandomCoClustering assigns each variable to one of k0 clusters
@@ -396,7 +435,7 @@ func (cc *CoClustering) DetachVar(x int) {
 func (cc *CoClustering) GainAttachVar(x, to int) float64 {
 	row := cc.Q.Row(x)
 	if to == len(cc.Clusters) {
-		return cc.Prior.LogML(score.StatsOf(row))
+		return cc.logML(score.StatsOf(row))
 	}
 	vc := cc.Clusters[to]
 	var gain float64
@@ -405,7 +444,7 @@ func (cc *CoClustering) GainAttachVar(x, to int) float64 {
 		for _, j := range c.Obs {
 			part.Add(row[j])
 		}
-		gain += cc.Prior.LogML(c.Stats.Plus(part)) - cc.Prior.LogML(c.Stats)
+		gain += cc.logML(c.Stats.Plus(part)) - cc.logML(c.Stats)
 	}
 	return gain
 }
@@ -421,6 +460,7 @@ func (cc *CoClustering) AttachVar(x, to int) {
 			Vars: []int{x},
 			Obs:  newSingleObsCluster(cc.Q, cc.Prior, []int{x}),
 		}
+		vc.Obs.Kernel = cc.Kernel
 		cc.Clusters = append(cc.Clusters, vc)
 		cc.Assign[x] = to
 		return
@@ -458,10 +498,10 @@ func (cc *CoClustering) GainMergeVar(cols []score.Stats, src, dst int) float64 {
 		for _, j := range c.Obs {
 			part.Merge(cols[j])
 		}
-		gain += cc.Prior.LogML(c.Stats.Plus(part)) - cc.Prior.LogML(c.Stats)
+		gain += cc.logML(c.Stats.Plus(part)) - cc.logML(c.Stats)
 	}
 	for _, c := range cc.Clusters[src].Obs.Clusters {
-		gain -= cc.Prior.LogML(c.Stats)
+		gain -= cc.logML(c.Stats)
 	}
 	return gain
 }

@@ -185,6 +185,9 @@ func (o Options) validate() error {
 	if err := o.Prior.Validate(); err != nil {
 		return err
 	}
+	if err := o.Module.Splits.Validate(); err != nil {
+		return fmt.Errorf("core: invalid split params: %w", err)
+	}
 	if o.GaneshRuns < 1 {
 		return fmt.Errorf("core: GaneshRuns %d must be ≥ 1", o.GaneshRuns)
 	}

@@ -160,6 +160,14 @@ func TestLearnValidation(t *testing.T) {
 	if _, err := Learn(d, opt); err == nil {
 		t.Fatal("bad prior accepted")
 	}
+	// A non-nil empty candidate list means "no parents allowed" by mistake,
+	// not "default to all variables" — reject it instead of learning a
+	// parentless forest.
+	opt = fastOptions(1)
+	opt.Module.Splits.Candidates = []int{}
+	if _, err := Learn(d, opt); err == nil {
+		t.Fatal("non-nil empty candidate list accepted")
+	}
 	tiny := dataset.New(1, 1)
 	if _, err := Learn(tiny, fastOptions(1)); err == nil {
 		t.Fatal("1×1 data set accepted")

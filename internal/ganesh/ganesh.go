@@ -124,9 +124,13 @@ func (e parExec) gains(count int, eval func(int) float64, cost func(int) float64
 type engine struct {
 	q     *score.QData
 	prior score.Prior
-	g     *prng.MRG3
-	ex    executor
-	wl    *trace.Workload
+	// kern is the precomputed scoring kernel of prior, attached to the
+	// clustering state so every gain evaluation hits the tables. A Gibbs
+	// block never exceeds the full data matrix, so n·m covers every count.
+	kern *score.Kernel
+	g    *prng.MRG3
+	ex   executor
+	wl   *trace.Workload
 	// decision counts segments for per-phase work recording.
 	decision map[string]int
 	// reg receives per-phase pool counters; ctrs caches the interned
@@ -141,7 +145,8 @@ type phaseCounters struct {
 }
 
 func newEngine(q *score.QData, pr score.Prior, g *prng.MRG3, ex executor, wl *trace.Workload) *engine {
-	return &engine{q: q, prior: pr, g: g, ex: ex, wl: wl, decision: make(map[string]int)}
+	return &engine{q: q, prior: pr, kern: score.NewKernel(pr, q.N*q.M),
+		g: g, ex: ex, wl: wl, decision: make(map[string]int)}
 }
 
 // withObs attaches the metrics registry of hooks (nil-safe) and returns the
@@ -315,6 +320,7 @@ func (e *engine) addSerial(phaseName string, cost float64) {
 func (e *engine) run(par Params) *cluster.CoClustering {
 	par = par.withDefaults(e.q.N, e.q.M)
 	cc := cluster.NewRandomCoClustering(e.q, e.prior, par.InitVarClusters, par.InitObsClusters, e.g)
+	cc.UseKernel(e.kern)
 	for u := 0; u < par.Updates; u++ {
 		e.reassignVars(cc)
 		e.mergeVars(cc)
@@ -386,6 +392,7 @@ func SampleObsClusteringsParallel(c *comm.Comm, q *score.QData, pr score.Prior, 
 func sampleObs(e *engine, vars []int, par ObsParams) ([][][]int, *cluster.ObsClusters) {
 	par = par.withDefaults(e.q.M)
 	oc := cluster.NewRandomObsClusters(e.q, e.prior, vars, par.InitObsClusters, e.g)
+	oc.UseKernel(e.kern)
 	var samples [][][]int
 	for u := 1; u <= par.Updates; u++ {
 		e.reassignObs(oc)

@@ -73,21 +73,24 @@ func decide(g *prng.MRG3, gains []float64) int {
 // cluster state object is reused for membership bookkeeping only; its cached
 // statistics are deliberately not consulted for scoring.
 type gibbs struct {
-	q  *score.QData
-	pr score.Prior
-	g  *prng.MRG3
+	q *score.QData
+	// k is the precomputed scoring kernel of the prior — bit-identical to
+	// Prior.LogML (score.Kernel), so the baseline keeps its rescanning
+	// character while scoring through the same tables as the engines.
+	k *score.Kernel
+	g *prng.MRG3
 }
 
 func (e *gibbs) gainAttachVar(cc *cluster.CoClustering, x, to int) float64 {
 	if to == len(cc.Clusters) {
-		return e.pr.LogML(score.StatsOf(e.q.Row(x)))
+		return e.k.LogML(score.StatsOf(e.q.Row(x)))
 	}
 	vc := cc.Clusters[to]
 	var gain float64
 	for _, oc := range vc.Obs.Clusters {
 		b := blockStats(e.q, vc.Vars, oc.Obs)
 		part := rowPart(e.q, x, oc.Obs)
-		gain += e.pr.LogML(b.Plus(part)) - e.pr.LogML(b)
+		gain += e.k.LogML(b.Plus(part)) - e.k.LogML(b)
 	}
 	return gain
 }
@@ -101,10 +104,10 @@ func (e *gibbs) gainMergeVar(cc *cluster.CoClustering, src, dst int) float64 {
 	for _, oc := range dc.Obs.Clusters {
 		b := blockStats(e.q, dc.Vars, oc.Obs)
 		part := blockStats(e.q, sc.Vars, oc.Obs)
-		gain += e.pr.LogML(b.Plus(part)) - e.pr.LogML(b)
+		gain += e.k.LogML(b.Plus(part)) - e.k.LogML(b)
 	}
 	for _, oc := range sc.Obs.Clusters {
-		gain -= e.pr.LogML(blockStats(e.q, sc.Vars, oc.Obs))
+		gain -= e.k.LogML(blockStats(e.q, sc.Vars, oc.Obs))
 	}
 	return gain
 }
@@ -112,10 +115,10 @@ func (e *gibbs) gainMergeVar(cc *cluster.CoClustering, src, dst int) float64 {
 func (e *gibbs) gainAttachObs(oc *cluster.ObsClusters, j, to int) float64 {
 	col := rowColumn(e.q, oc.Vars, j)
 	if to == len(oc.Clusters) {
-		return e.pr.LogML(col)
+		return e.k.LogML(col)
 	}
 	b := blockStats(e.q, oc.Vars, oc.Clusters[to].Obs)
-	return e.pr.LogML(b.Plus(col)) - e.pr.LogML(b)
+	return e.k.LogML(b.Plus(col)) - e.k.LogML(b)
 }
 
 func (e *gibbs) gainMergeObs(oc *cluster.ObsClusters, i, j int) float64 {
@@ -124,7 +127,7 @@ func (e *gibbs) gainMergeObs(oc *cluster.ObsClusters, i, j int) float64 {
 	}
 	a := blockStats(e.q, oc.Vars, oc.Clusters[i].Obs)
 	b := blockStats(e.q, oc.Vars, oc.Clusters[j].Obs)
-	return e.pr.LogML(a.Plus(b)) - e.pr.LogML(a) - e.pr.LogML(b)
+	return e.k.LogML(a.Plus(b)) - e.k.LogML(a) - e.k.LogML(b)
 }
 
 // rowColumn rescans observation j's cells over vars.
@@ -213,7 +216,7 @@ func (e *gibbs) runGaneSH(par ganesh.Params) *cluster.CoClustering {
 	if updates == 0 {
 		updates = 1
 	}
-	cc := cluster.NewRandomCoClustering(e.q, e.pr, k0, l0, e.g)
+	cc := cluster.NewRandomCoClustering(e.q, e.k.Prior(), k0, l0, e.g)
 	for u := 0; u < updates; u++ {
 		e.reassignVars(cc)
 		e.mergeVars(cc)
@@ -239,7 +242,7 @@ func (e *gibbs) sampleObs(vars []int, par ganesh.ObsParams) [][][]int {
 	if updates == 0 {
 		updates = 1
 	}
-	oc := cluster.NewRandomObsClusters(e.q, e.pr, vars, l0, e.g)
+	oc := cluster.NewRandomObsClusters(e.q, e.k.Prior(), vars, l0, e.g)
 	var samples [][][]int
 	for u := 1; u <= updates; u++ {
 		e.reassignObs(oc)
@@ -264,7 +267,7 @@ func (e *gibbs) buildTree(vars []int, clusters [][]int) *tree.Tree {
 		for i := 0; i < len(subtrees)-1; i++ {
 			a := blockStats(e.q, vars, subtrees[i].Obs)
 			b := blockStats(e.q, vars, subtrees[i+1].Obs)
-			s := e.pr.LogML(a.Plus(b)) - e.pr.LogML(a) - e.pr.LogML(b)
+			s := e.k.LogML(a.Plus(b)) - e.k.LogML(a) - e.k.LogML(b)
 			if s > bestScore {
 				bestScore, best = s, i
 			}
@@ -407,7 +410,7 @@ func (e *gibbs) posterior(vars []int, node *tree.Node, cands []int, local int,
 				rs.Merge(col)
 			}
 		}
-		delta := e.pr.LogML(ls) + e.pr.LogML(rs) - e.pr.LogML(ls.Plus(rs))
+		delta := e.k.LogML(ls) + e.k.LogML(rs) - e.k.LogML(ls.Plus(rs))
 		if delta > 0 {
 			successes++
 		}
@@ -464,6 +467,9 @@ func Learn(d *dataset.Data, opt core.Options) (*core.Output, error) {
 	if err := opt.Prior.Validate(); err != nil {
 		return nil, err
 	}
+	if err := opt.Module.Splits.Validate(); err != nil {
+		return nil, err
+	}
 	if err := d.Validate(); err != nil {
 		return nil, err
 	}
@@ -473,13 +479,16 @@ func Learn(d *dataset.Data, opt core.Options) (*core.Output, error) {
 		work.Standardize()
 	}
 	q := score.QuantizeData(work)
+	// One kernel for the whole run: the rescanned blocks never exceed the
+	// full data matrix, so n·m tables every count the baseline can score.
+	kern := score.NewKernel(opt.Prior, q.N*q.M)
 	timers := trace.NewTimers()
 	master := prng.New(opt.Seed)
 
 	var ensembles [][][]int
 	timers.Time(core.TaskGaneSH, func() {
 		for r := 0; r < opt.GaneshRuns; r++ {
-			e := &gibbs{q: q, pr: opt.Prior, g: master.Substream(uint64(r + 1))}
+			e := &gibbs{q: q, k: kern, g: master.Substream(uint64(r + 1))}
 			cc := e.runGaneSH(opt.Ganesh)
 			ensembles = append(ensembles, cc.VarSnapshot())
 		}
@@ -503,7 +512,7 @@ func Learn(d *dataset.Data, opt core.Options) (*core.Output, error) {
 			// One numbered substream per module, mirroring module.learn's
 			// checkpointable per-module units: each module's trees and
 			// splits depend only on its own index and members.
-			e := &gibbs{q: q, pr: opt.Prior, g: gTask.Substream(uint64(mi + 1))}
+			e := &gibbs{q: q, k: kern, g: gTask.Substream(uint64(mi + 1))}
 			mod := &module.Module{Vars: append([]int(nil), vars...)}
 			for _, clusters := range e.sampleObs(vars, opt.Module.Tree) {
 				mod.Trees = append(mod.Trees, e.buildTree(vars, clusters))

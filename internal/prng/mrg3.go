@@ -81,10 +81,10 @@ func (g *MRG3) Clone() *MRG3 {
 
 // Next returns the next raw output of the recurrence, uniform on [0, Modulus).
 func (g *MRG3) Next() uint64 {
-	// All operands are < 2^31, so each product is < 2^62 and the sum of
-	// three partial remainders stays well below 2^64.
-	x := (A1*g.s0)%Modulus + (A2*g.s1)%Modulus + (A3*g.s2)%Modulus
-	x %= Modulus
+	// All operands are < 2^31, so each product is < 2^62 and the raw sum of
+	// all three is < 3·2^62 < 2^64: one final reduction is exact and yields
+	// the same residue as reducing each term, at a quarter of the divisions.
+	x := (A1*g.s0 + A2*g.s1 + A3*g.s2) % Modulus
 	g.s2, g.s1, g.s0 = g.s1, g.s0, x
 	return x
 }
@@ -135,6 +135,82 @@ func (g *MRG3) Intn(n int) int {
 		panic("prng: Intn with n <= 0")
 	}
 	return int(g.Uint64n(uint64(n)))
+}
+
+// Uniform is a bounded-draw sampler with Uint64n's rejection threshold
+// precomputed at construction. Draw consumes the stream exactly as
+// Intn(n)/Uint64n(n) would — same values, same number of raw outputs — so
+// hot loops that make millions of same-bound draws (the split-posterior
+// bootstrap) hoist the per-call threshold division out of the loop without
+// changing any consumed bit.
+type Uniform struct {
+	n uint64
+	// pow2/mask mirror Uint64n's power-of-two fast path; limit its
+	// rejection threshold otherwise.
+	pow2  bool
+	mask  uint64
+	limit uint64
+}
+
+// NewUniform returns the sampler for [0, n). It panics if n <= 0.
+func NewUniform(n int) Uniform {
+	if n <= 0 {
+		panic("prng: NewUniform with n <= 0")
+	}
+	u := Uniform{n: uint64(n)}
+	if u.n&(u.n-1) == 0 {
+		u.pow2, u.mask = true, u.n-1
+	} else {
+		u.limit = math.MaxUint64 - math.MaxUint64%u.n
+	}
+	return u
+}
+
+// Draw returns a uniform value in [0, n), drawing from g bit-identically to
+// g.Intn(n).
+func (u Uniform) Draw(g *MRG3) int {
+	if u.pow2 {
+		return int(g.Uint64() & u.mask)
+	}
+	for {
+		v := g.Uint64()
+		if v < u.limit {
+			return int(v % u.n)
+		}
+	}
+}
+
+// Fill fills dst with uniform values in [0, n), drawing from g exactly as
+// len(dst) successive Draw calls would — same values, same raw outputs
+// consumed. Batching keeps the generator state in locals across the whole
+// run of draws, so hot loops pay the state load/store and call overhead
+// once per batch instead of once per draw.
+func (u Uniform) Fill(g *MRG3, dst []int) {
+	s0, s1, s2 := g.s0, g.s1, g.s2
+	for i := range dst {
+		var v uint64
+		for {
+			// Three steps of the recurrence compose one Uint64, exactly as
+			// Uint64 builds it from three Next outputs.
+			a := (A1*s0 + A2*s1 + A3*s2) % Modulus
+			s2, s1, s0 = s1, s0, a
+			b := (A1*s0 + A2*s1 + A3*s2) % Modulus
+			s2, s1, s0 = s1, s0, b
+			c := (A1*s0 + A2*s1 + A3*s2) % Modulus
+			s2, s1, s0 = s1, s0, c
+			v = a<<33 | b<<2 | c>>29
+			if u.pow2 {
+				v &= u.mask
+				break
+			}
+			if v < u.limit {
+				v %= u.n
+				break
+			}
+		}
+		dst[i] = int(v)
+	}
+	g.s0, g.s1, g.s2 = s0, s1, s2
 }
 
 // Normal returns a standard normal deviate using the Box-Muller transform.
@@ -197,11 +273,13 @@ func mulMat(a, b mat3) mat3 {
 	var c mat3
 	for i := 0; i < 3; i++ {
 		for j := 0; j < 3; j++ {
+			// Entries are reduced (< 2^31), so the three products sum to
+			// < 3·2^62 < 2^64: one final reduction matches per-term reduction.
 			var s uint64
 			for k := 0; k < 3; k++ {
-				s = (s + a[3*i+k]*b[3*k+j]) % Modulus
+				s += a[3*i+k] * b[3*k+j]
 			}
-			c[3*i+j] = s
+			c[3*i+j] = s % Modulus
 		}
 	}
 	return c

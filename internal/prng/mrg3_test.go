@@ -445,3 +445,60 @@ func TestJumpHuge(t *testing.T) {
 		t.Fatalf("state corrupt after huge jump: %d", v)
 	}
 }
+
+// TestUniformMatchesIntn: the precomputed sampler must replay Intn's draw
+// sequence bit for bit — same values, same raw-output consumption — for
+// power-of-two and rejection-path bounds alike.
+func TestUniformMatchesIntn(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 30, 64, 100, 1 << 20} {
+		u := NewUniform(n)
+		a, b := New(uint64(n)), New(uint64(n))
+		for i := 0; i < 2000; i++ {
+			want := a.Intn(n)
+			got := u.Draw(b)
+			if got != want {
+				t.Fatalf("n=%d draw %d: Uniform %d, Intn %d", n, i, got, want)
+			}
+		}
+		sa0, sa1, sa2 := a.State()
+		sb0, sb1, sb2 := b.State()
+		if sa0 != sb0 || sa1 != sb1 || sa2 != sb2 {
+			t.Fatalf("n=%d: generators diverged after identical draws", n)
+		}
+	}
+}
+
+// TestUniformFillMatchesDraw: the batched Fill must produce the exact draw
+// sequence of element-wise Draw calls, including ragged batch sizes and
+// rejection-path bounds, and leave the generator in the identical state.
+func TestUniformFillMatchesDraw(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 7, 8, 30, 64, 100, 1 << 20} {
+		u := NewUniform(n)
+		a, b := New(uint64(n)+77), New(uint64(n)+77)
+		buf := make([]int, 37)
+		for _, size := range []int{0, 1, 2, 37, 5, 36} {
+			dst := buf[:size]
+			u.Fill(b, dst)
+			for i, got := range dst {
+				if want := u.Draw(a); got != want {
+					t.Fatalf("n=%d size=%d draw %d: Fill %d, Draw %d", n, size, i, got, want)
+				}
+			}
+			sa0, sa1, sa2 := a.State()
+			sb0, sb1, sb2 := b.State()
+			if sa0 != sb0 || sa1 != sb1 || sa2 != sb2 {
+				t.Fatalf("n=%d size=%d: generators diverged after identical draws", n, size)
+			}
+		}
+	}
+}
+
+// TestNewUniformPanics mirrors Intn's bound validation.
+func TestNewUniformPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewUniform(0) did not panic")
+		}
+	}()
+	NewUniform(0)
+}

@@ -1,0 +1,133 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"parsimone/internal/prng"
+)
+
+// kernelTestPriors are the priors the differential tests sweep: the default,
+// asymmetric shapes, and extreme-but-valid corners (tiny rates, huge scale,
+// far-off-center means) where Lgamma/Log are least forgiving.
+func kernelTestPriors() []Prior {
+	return []Prior{
+		DefaultPrior(),
+		{Mu0: 1, Lambda0: 1, Alpha0: 1, Beta0: 1},
+		{Mu0: -3.5, Lambda0: 0.01, Alpha0: 2.5, Beta0: 7},
+		{Mu0: 1e6, Lambda0: 1e-8, Alpha0: 1e-8, Beta0: 1e308},
+		{Mu0: -1e6, Lambda0: 1e8, Alpha0: 1e8, Beta0: 1e-308},
+		{Mu0: 0, Lambda0: 0.1, Alpha0: 100, Beta0: 1e-3},
+	}
+}
+
+// randomStats draws a Stats value whose fields are in the fixed-point ranges
+// the quantizer produces (|value| ≤ a few·ValueScale per cell).
+func randomStats(g *prng.MRG3, n int64) Stats {
+	var s Stats
+	s.N = n
+	for i := int64(0); i < min(n, 64); i++ {
+		v := int64(g.Uint64n(8*ValueScale)) - 4*ValueScale
+		s.Sum += v
+		s.SumSq += v * v
+	}
+	// Scale up without drawing MaxBlockCells values: counts beyond the
+	// sampled cells reuse the accumulated sums, which keeps the fields in a
+	// representative (and exactly representable) range.
+	if n > 64 {
+		s.Sum *= n / 64
+		s.SumSq *= n / 64
+	}
+	return s
+}
+
+// TestKernelLogMLBitIdentical is the kernel's differential table test:
+// Kernel.LogML must agree with Prior.LogML to the bit over randomized Stats,
+// including N=0, counts at the table edge, counts beyond it (fallback), and
+// N at MaxBlockCells, for every test prior.
+func TestKernelLogMLBitIdentical(t *testing.T) {
+	g := prng.New(41)
+	for pi, pr := range kernelTestPriors() {
+		const maxN = 4096
+		k := NewKernel(pr, maxN)
+		counts := []int64{0, 1, 2, 3, 17, 64, 1000, maxN - 1, maxN, maxN + 1, maxN * 3, MaxBlockCells}
+		for _, n := range counts {
+			for rep := 0; rep < 20; rep++ {
+				s := randomStats(g, n)
+				want := pr.LogML(s)
+				got := k.LogML(s)
+				if math.Float64bits(got) != math.Float64bits(want) {
+					t.Fatalf("prior %d, stats %+v: Kernel.LogML = %x (%v), Prior.LogML = %x (%v)",
+						pi, s, math.Float64bits(got), got, math.Float64bits(want), want)
+				}
+			}
+		}
+	}
+}
+
+// TestKernelFallbackCounter pins the cache-miss accounting: in-table calls
+// never touch the counter, out-of-table calls increment it once each, and
+// N=0 short-circuits without counting.
+func TestKernelFallbackCounter(t *testing.T) {
+	k := NewKernel(DefaultPrior(), 10)
+	if k.TableLen() != 11 {
+		t.Fatalf("TableLen = %d, want 11", k.TableLen())
+	}
+	s := randomStats(prng.New(7), 5)
+	k.LogML(s)
+	k.LogML(Stats{})
+	if got := k.Fallbacks(); got != 0 {
+		t.Fatalf("fallbacks after in-table calls = %d, want 0", got)
+	}
+	big := randomStats(prng.New(8), 100)
+	k.LogML(big)
+	k.LogML(big)
+	if got := k.Fallbacks(); got != 2 {
+		t.Fatalf("fallbacks after two out-of-table calls = %d, want 2", got)
+	}
+}
+
+// TestNewKernelClamps pins the constructor's bounds handling: negative maxN
+// degenerates to the N=0-only table and oversized requests clamp to
+// MaxKernelTableN, with the fallback keeping every call exact.
+func TestNewKernelClamps(t *testing.T) {
+	if got := NewKernel(DefaultPrior(), -5).TableLen(); got != 1 {
+		t.Fatalf("TableLen for negative maxN = %d, want 1", got)
+	}
+	// Construct-time clamping only; building a MaxKernelTableN-sized table
+	// here would dominate the test run, so check the arithmetic instead.
+	if MaxKernelTableN != MaxBlockCells {
+		t.Fatalf("MaxKernelTableN = %d, want MaxBlockCells = %d", MaxKernelTableN, MaxBlockCells)
+	}
+}
+
+// FuzzKernelLogML fuzzes the bit-identity over arbitrary Stats fields and
+// priors: for any valid prior and any Stats, Kernel.LogML and Prior.LogML
+// must return identical bits on both the table and the fallback path.
+func FuzzKernelLogML(f *testing.F) {
+	f.Add(int64(0), int64(0), int64(0), 0.0, 0.1, 0.1, 0.1)
+	f.Add(int64(8), int64(1000), int64(250000), 0.0, 0.1, 0.1, 0.1)
+	f.Add(int64(5000), int64(-123456), int64(98765432), 1.5, 2.0, 3.0, 4.0)
+	f.Add(int64(MaxBlockCells), int64(1)<<40, int64(1)<<50, -1e6, 1e-8, 1e-8, 1e308)
+	f.Fuzz(func(t *testing.T, n, sum, sumsq int64, mu0, lambda0, alpha0, beta0 float64) {
+		pr := Prior{Mu0: mu0, Lambda0: lambda0, Alpha0: alpha0, Beta0: beta0}
+		if pr.Validate() != nil {
+			// Sanitize invalid draws into a valid prior rather than skip, so
+			// the corpus keeps exercising the comparison.
+			pr = DefaultPrior()
+		}
+		const maxN = 1024
+		k := NewKernel(pr, maxN)
+		for _, s := range []Stats{
+			{N: n, Sum: sum, SumSq: sumsq},
+			{N: ((n % maxN) + maxN) % maxN, Sum: sum, SumSq: sumsq},
+		} {
+			want := pr.LogML(s)
+			got := k.LogML(s)
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("stats %+v prior %+v: kernel %x, prior %x",
+					s, pr, math.Float64bits(got), math.Float64bits(want))
+			}
+		}
+	})
+}

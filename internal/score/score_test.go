@@ -361,9 +361,18 @@ func TestQuantizeProbMatchesLegacyGrid(t *testing.T) {
 func BenchmarkLogML(b *testing.B) {
 	pr := DefaultPrior()
 	s := StatsOf([]int64{100, 200, 300, -100, 50, 70, 90, 1000})
-	for i := 0; i < b.N; i++ {
-		pr.LogML(s)
-	}
+	b.Run("prior", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			pr.LogML(s)
+		}
+	})
+	b.Run("kernel", func(b *testing.B) {
+		k := NewKernel(pr, 64)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k.LogML(s)
+		}
+	})
 }
 
 func BenchmarkStatsAdd(b *testing.B) {

@@ -71,6 +71,10 @@ func LearnParallelDynamic(c *comm.Comm, q *score.QData, pr score.Prior, modules 
 	subChunk := max(1, chunk/8)
 	nw := max(1, par.Workers)
 	cursors := make([]int, nw)
+	kern := newKernel(pr, nodes, par)
+	// Scratches persist across dealt chunks: the ⟨node, parent⟩ cache key
+	// stays valid whatever ranges the coordinator deals this rank.
+	scratches := newScratches(nw)
 	computeRange := func(lo, hi int, out []valMsg) []valMsg {
 		tmp := make([]valMsg, hi-lo)
 		start := nodeIndexAt(nodes, lo)
@@ -85,7 +89,7 @@ func LearnParallelDynamic(c *comm.Comm, q *score.QData, pr score.Prior, modules 
 			}
 			cursors[w] = ni
 			ref := nodes[ni]
-			p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
+			p, s := posterior(q, kern, ref, par.Candidates, ci, base.Substream(uint64(ci)), par, scratches[w])
 			tmp[k] = valMsg{Index: ci, P: p}
 			return itemCost(s, len(ref.node.Obs))
 		})

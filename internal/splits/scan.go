@@ -68,6 +68,7 @@ func LearnParallelScan(c *comm.Comm, q *score.QData, pr score.Prior, modules [][
 	localW := make([]uint64, hi-lo)
 	localP := make([]float64, hi-lo)
 	localRetained := make([]bool, hi-lo)
+	localSteps := make([]int, hi-lo)
 	nw := max(1, par.Workers)
 	cursors := make([]int, nw)
 	if len(nodes) > 0 {
@@ -76,6 +77,8 @@ func LearnParallelScan(c *comm.Comm, q *score.QData, pr score.Prior, modules [][
 			cursors[w] = start
 		}
 	}
+	kern := newKernel(pr, nodes, par)
+	scratches := newScratches(nw)
 	st := pool.For(hi-lo, par.Workers, pool.DefaultChunk, func(k, w int) float64 {
 		ci := lo + k
 		nc := cursors[w]
@@ -84,15 +87,17 @@ func LearnParallelScan(c *comm.Comm, q *score.QData, pr score.Prior, modules [][
 		}
 		cursors[w] = nc
 		ref := nodes[nc]
-		p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
+		p, s := posterior(q, kern, ref, par.Candidates, ci, base.Substream(uint64(ci)), par, scratches[w])
 		localW[k] = score.QuantizeProb(p)
 		localP[k] = p
 		localRetained[k] = p > 0
+		localSteps[k] = s
 		return itemCost(s, len(ref.node.Obs))
 	})
 	if h := par.Hooks; h != nil {
 		h.PoolCost(PhaseAssign, st)
 		h.WorkerImbalance(PhaseAssign, st)
+		recordSplitMetrics(h.Registry(), localSteps, kern)
 		var localCost float64
 		for _, cst := range st.Cost {
 			localCost += cst

@@ -22,6 +22,7 @@
 package splits
 
 import (
+	"fmt"
 	"math"
 	"sort"
 	"time"
@@ -91,6 +92,12 @@ type Params struct {
 	// collectively, so a mixed configuration would deadlock, exactly like
 	// disagreeing on any other collective.
 	Hooks *obs.Hooks
+	// DisableKernel makes every posterior evaluation score through
+	// Prior.LogML directly instead of the precomputed kernel tables. The
+	// learned result is identical either way (the kernel is an exact
+	// re-expression); the switch exists so the `kernel` benchtab
+	// experiment can measure the tables' effect end to end.
+	DisableKernel bool
 }
 
 func (p Params) withDefaults(n int) Params {
@@ -114,6 +121,19 @@ func (p Params) withDefaults(n int) Params {
 		}
 	}
 	return p
+}
+
+// Validate reports configuration errors withDefaults cannot repair. A
+// non-nil empty Candidates slice is rejected: nil means "all variables",
+// but an explicitly empty candidate-parent list enumerates zero candidate
+// splits and silently yields an empty Result with no diagnostic. Core
+// Options validation and the parsimone CLI surface this before any
+// learning runs.
+func (p Params) Validate() error {
+	if p.Candidates != nil && len(p.Candidates) == 0 {
+		return fmt.Errorf("splits: Candidates must be nil (all variables) or non-empty — an empty list yields zero candidate splits and an empty Result")
+	}
+	return nil
 }
 
 // Assigned is one split assigned to a tree node.
@@ -198,41 +218,124 @@ func itemCost(steps, nObs int) float64 {
 	return float64((steps + 1) * nObs * (1 + logMLCost/4))
 }
 
+// scratch is one worker's reusable buffers for posterior evaluation,
+// allocation-free per candidate. The candidate list is parent-major within
+// a node — nObs consecutive candidates share ⟨node, parent⟩ — so the parent
+// column gathered over the node's observations is cached across candidates
+// and refilled only when the pair changes.
+type scratch struct {
+	// node and parent key the cached column.
+	node   *nodeRef
+	parent int
+	// pobs[k] is the parent's quantized value at the node's k-th
+	// observation; mask[k] the candidate's left/right side
+	// (pobs[k] ≤ value), rebuilt per candidate in one pass.
+	pobs []int64
+	mask []bool
+	// picks receives one bootstrap step's batched draws.
+	picks []int
+}
+
+// newScratches allocates one scratch per pool worker — separately, so
+// workers never write into a shared cache line.
+func newScratches(workers int) []*scratch {
+	out := make([]*scratch, workers)
+	for i := range out {
+		out[i] = &scratch{parent: -1}
+	}
+	return out
+}
+
+// maxStatsN returns the largest sufficient-statistics count the bootstrap
+// can produce over these nodes — a full resample drawing one observation
+// column (one Stats value per module variable) |Obs| times — which sizes
+// the kernel tables so the hot loop never takes the fallback path.
+func maxStatsN(nodes []*nodeRef) int {
+	maxN := 0
+	for _, ref := range nodes {
+		if len(ref.colStats) == 0 {
+			continue
+		}
+		if n := len(ref.node.Obs) * int(ref.colStats[0].N); n > maxN {
+			maxN = n
+		}
+	}
+	return maxN
+}
+
+// newKernel builds the scoring kernel every selection path shares. With
+// par.DisableKernel the table degenerates to the N=0 entry, so every call
+// takes the Prior.LogML fallback — the pre-kernel scoring path, kept
+// reachable for the `kernel` benchtab measurement.
+func newKernel(pr score.Prior, nodes []*nodeRef, par Params) *score.Kernel {
+	if par.DisableKernel {
+		return score.NewKernel(pr, 0)
+	}
+	return score.NewKernel(pr, maxStatsN(nodes))
+}
+
 // posterior computes the bootstrap posterior of global candidate ci of node
-// ref, drawing from sub (the candidate's numbered substream). It returns the
-// posterior and the number of resampling steps consumed.
-func posterior(q *score.QData, pr score.Prior, ref *nodeRef, candParents []int, ci int, sub *prng.MRG3, par Params) (float64, int) {
+// ref, drawing from sub (the candidate's numbered substream) and scoring
+// through kern — bit-equal to the prior's LogML (score.Kernel). sc is the
+// calling worker's scratch. It returns the posterior and the number of
+// resampling steps consumed.
+func posterior(q *score.QData, kern *score.Kernel, ref *nodeRef, candParents []int, ci int, sub *prng.MRG3, par Params, sc *scratch) (float64, int) {
 	local := ci - ref.offset
 	nObs := len(ref.node.Obs)
 	parent := candParents[local/nObs]
-	value := q.At(parent, ref.node.Obs[local%nObs])
-	// Degenerate split: one side empty → zero posterior, discarded
-	// (§2.2.3: "candidate splits with zero posterior probability are
-	// discarded"). Costs one scan.
+	if sc.node != ref || sc.parent != parent {
+		if cap(sc.pobs) < nObs {
+			sc.pobs = make([]int64, nObs)
+			sc.mask = make([]bool, nObs)
+			sc.picks = make([]int, nObs)
+		}
+		sc.pobs = sc.pobs[:nObs]
+		sc.mask = sc.mask[:nObs]
+		sc.picks = sc.picks[:nObs]
+		prow := q.Row(parent)
+		for k, j := range ref.node.Obs {
+			sc.pobs[k] = prow[j]
+		}
+		sc.node, sc.parent = ref, parent
+	}
+	value := sc.pobs[local%nObs]
+	// Build the left mask and count the left side in the same pass, so each
+	// column value is compared against the threshold exactly once per
+	// candidate — the mask build IS the degenerate-split pre-scan.
 	left := 0
-	for _, j := range ref.node.Obs {
-		if q.At(parent, j) <= value {
+	for k, v := range sc.pobs {
+		le := v <= value
+		sc.mask[k] = le
+		if le {
 			left++
 		}
 	}
+	// Degenerate split: one side empty → zero posterior, discarded
+	// (§2.2.3: "candidate splits with zero posterior probability are
+	// discarded"). Costs one scan.
 	if left == 0 || left == nObs {
 		return 0, 0
 	}
-	prow := q.Row(parent)
+	mask := sc.mask
+	cols := ref.colStats
+	picks := sc.picks
+	draw := prng.NewUniform(nObs)
 	successes, steps := 0, 0
 	for steps < par.MaxSteps {
 		steps++
 		var ls, rs score.Stats
-		for k := 0; k < nObs; k++ {
-			pick := sub.Intn(nObs)
-			j := ref.node.Obs[pick]
-			if prow[j] <= value {
-				ls.Merge(ref.colStats[pick])
+		// One batched fill per step: the sampler keeps the generator state
+		// in registers across the whole resample, drawing the exact
+		// sequence nObs Intn calls would.
+		draw.Fill(sub, picks)
+		for _, pick := range picks {
+			if mask[pick] {
+				ls.Merge(cols[pick])
 			} else {
-				rs.Merge(ref.colStats[pick])
+				rs.Merge(cols[pick])
 			}
 		}
-		delta := pr.LogML(ls) + pr.LogML(rs) - pr.LogML(ls.Plus(rs))
+		delta := kern.LogML(ls) + kern.LogML(rs) - kern.LogML(ls.Plus(rs))
 		if delta > 0 {
 			successes++
 		}
@@ -245,6 +348,29 @@ func posterior(q *score.QData, pr score.Prior, ref *nodeRef, candParents []int, 
 		}
 	}
 	return float64(successes) / float64(steps), steps
+}
+
+// recordSplitMetrics records the result-invisible split-phase metrics:
+// the split_steps histogram and the kernel cache counters. Both
+// metric-recording selection paths (gather and scan) go through this one
+// helper so same-seed runs that differ only in ScanSelection produce
+// byte-identical metrics dumps. Hits are derived rather than counted in the
+// hot loop — each completed bootstrap step makes exactly three kernel calls
+// (degenerate candidates make none), so hits = 3·Σsteps − fallbacks and the
+// table-hit path stays free of atomics.
+func recordSplitMetrics(reg *obs.Registry, steps []int, kern *score.Kernel) {
+	if reg == nil {
+		return
+	}
+	hist := reg.Histogram("split_steps", "bootstrap resampling steps per candidate split", obs.DefaultStepBuckets)
+	var total int64
+	for _, s := range steps {
+		hist.Observe(float64(s))
+		total += int64(s)
+	}
+	misses := kern.Fallbacks()
+	reg.Counter("kernel_table_hits_total", "split-score kernel LogML calls served from the precomputed tables", "phase", PhaseAssign).Add(3*total - misses)
+	reg.Counter("kernel_table_misses_total", "split-score kernel LogML calls that fell back to direct Prior.LogML", "phase", PhaseAssign).Add(misses)
 }
 
 // learn computes all posteriors (partitioned by evalRange) and performs the
@@ -290,6 +416,8 @@ func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 			cursors[w] = start
 		}
 	}
+	kern := newKernel(pr, nodes, par)
+	scratches := newScratches(nw)
 	st := pool.For(hi-lo, par.Workers, pool.DefaultChunk, func(k, w int) float64 {
 		ci := lo + k
 		ni := cursors[w]
@@ -298,7 +426,7 @@ func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 		}
 		cursors[w] = ni
 		ref := nodes[ni]
-		p, s := posterior(q, pr, ref, par.Candidates, ci, base.Substream(uint64(ci)), par)
+		p, s := posterior(q, kern, ref, par.Candidates, ci, base.Substream(uint64(ci)), par, scratches[w])
 		local[k] = p
 		steps[k] = s
 		return itemCost(s, len(ref.node.Obs))
@@ -306,12 +434,7 @@ func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 	if h := par.Hooks; h != nil {
 		h.PoolCost(PhaseAssign, st)
 		h.WorkerImbalance(PhaseAssign, st)
-		if reg := h.Registry(); reg != nil {
-			hist := reg.Histogram("split_steps", "bootstrap resampling steps per candidate split", obs.DefaultStepBuckets)
-			for _, s := range steps {
-				hist.Observe(float64(s))
-			}
-		}
+		recordSplitMetrics(h.Registry(), steps, kern)
 		if gatherCosts != nil {
 			var localCost float64
 			for _, c := range st.Cost {

@@ -1,11 +1,15 @@
 package splits
 
 import (
+	"bytes"
 	"fmt"
+	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"parsimone/internal/comm"
+	"parsimone/internal/obs"
 	"parsimone/internal/prng"
 	"parsimone/internal/score"
 	"parsimone/internal/synth"
@@ -154,7 +158,8 @@ func TestPosteriorDegenerateSplit(t *testing.T) {
 		}
 	}
 	ci := ref.offset + maxIdx // parent index 0 → offset + obs index
-	p, steps := posterior(q, score.DefaultPrior(), ref, par.Candidates, ci, prng.New(1), par)
+	kern := score.NewKernel(score.DefaultPrior(), maxStatsN(nodes))
+	p, steps := posterior(q, kern, ref, par.Candidates, ci, prng.New(1), par, &scratch{parent: -1})
 	if p != 0 || steps != 0 {
 		t.Fatalf("degenerate split: posterior %v steps %d, want 0, 0", p, steps)
 	}
@@ -165,9 +170,11 @@ func TestPosteriorStepBounds(t *testing.T) {
 	par := Params{MinSteps: 8, MaxSteps: 32}.withDefaults(q.N)
 	nodes := enumerate(q, modules, trees, par.Candidates)
 	g := prng.New(3)
+	kern := score.NewKernel(score.DefaultPrior(), maxStatsN(nodes))
+	sc := &scratch{parent: -1}
 	for _, ref := range nodes[:min(3, len(nodes))] {
 		for ci := ref.offset; ci < ref.offset+min(ref.count, 50); ci++ {
-			_, steps := posterior(q, score.DefaultPrior(), ref, par.Candidates, ci, g.Substream(uint64(ci)), par)
+			_, steps := posterior(q, kern, ref, par.Candidates, ci, g.Substream(uint64(ci)), par, sc)
 			if steps != 0 && (steps < par.MinSteps || steps > par.MaxSteps) {
 				t.Fatalf("steps %d outside [%d, %d]", steps, par.MinSteps, par.MaxSteps)
 			}
@@ -263,10 +270,12 @@ func TestNegativeCIHalfWidthRunsToMaxSteps(t *testing.T) {
 	par := Params{MaxSteps: 12, CIHalfWidth: -1}.withDefaults(q.N)
 	nodes := enumerate(q, modules, trees, par.Candidates)
 	g := prng.New(9)
+	kern := score.NewKernel(pr, maxStatsN(nodes))
+	sc := &scratch{parent: -1}
 	checked := 0
 	for _, ref := range nodes {
 		for ci := ref.offset; ci < ref.offset+ref.count && checked < 50; ci++ {
-			_, steps := posterior(q, pr, ref, par.Candidates, ci, g.Substream(uint64(ci)), par)
+			_, steps := posterior(q, kern, ref, par.Candidates, ci, g.Substream(uint64(ci)), par, sc)
 			if steps != 0 && steps != par.MaxSteps {
 				t.Fatalf("candidate %d stopped early at %d steps despite disabled CI", ci, steps)
 			}
@@ -525,4 +534,182 @@ func TestScanUsesLessCommunication(t *testing.T) {
 	if scan >= gather {
 		t.Fatalf("scan moved %d elements, gather %d — no saving", scan, gather)
 	}
+}
+
+// TestParamsValidate: nil Candidates means "all variables" and is fine; a
+// non-nil empty slice enumerates zero candidate splits and must be rejected
+// instead of silently yielding an empty Result.
+func TestParamsValidate(t *testing.T) {
+	if err := (Params{}).Validate(); err != nil {
+		t.Fatalf("nil Candidates rejected: %v", err)
+	}
+	if err := (Params{Candidates: []int{0, 2}}).Validate(); err != nil {
+		t.Fatalf("non-empty Candidates rejected: %v", err)
+	}
+	if err := (Params{Candidates: []int{}}).Validate(); err == nil {
+		t.Fatal("empty non-nil Candidates accepted")
+	}
+}
+
+// TestScanMetricsParity: two same-seed runs that differ only in
+// ScanSelection must produce byte-identical metrics dumps — the scan path
+// used to skip the split_steps histogram the gather path records.
+func TestScanMetricsParity(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 16)
+	pr := score.DefaultPrior()
+	dump := func(scan bool) string {
+		reg := obs.NewRegistry()
+		par := Params{NumSplits: 2, MaxSteps: 24, Hooks: obs.NewHooks(nil, reg)}
+		_, err := comm.Run(2, func(c *comm.Comm) error {
+			if scan {
+				LearnParallelScan(c, q, pr, modules, trees, par, prng.New(21))
+			} else {
+				LearnParallel(c, q, pr, modules, trees, par, prng.New(21))
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := reg.WriteJSON(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	gather, scan := dump(false), dump(true)
+	if !strings.Contains(scan, "split_steps") {
+		t.Fatal("scan path did not record the split_steps histogram")
+	}
+	if !strings.Contains(scan, "kernel_table_hits_total") {
+		t.Fatal("scan path did not record the kernel cache counters")
+	}
+	if gather != scan {
+		t.Errorf("metrics dumps differ across ScanSelection:\n--- gather ---\n%s\n--- scan ---\n%s", gather, scan)
+	}
+}
+
+// posteriorPreKernel is the pre-kernel posterior, kept verbatim as the
+// differential baseline: direct Prior.LogML per bootstrap step, a separate
+// q.At degenerate pre-scan, and a prow comparison per resampled pick.
+// TestPosteriorMatchesPreKernel and BenchmarkPosterior run it against the
+// kernel implementation.
+func posteriorPreKernel(q *score.QData, pr score.Prior, ref *nodeRef, candParents []int, ci int, sub *prng.MRG3, par Params) (float64, int) {
+	local := ci - ref.offset
+	nObs := len(ref.node.Obs)
+	parent := candParents[local/nObs]
+	value := q.At(parent, ref.node.Obs[local%nObs])
+	left := 0
+	for _, j := range ref.node.Obs {
+		if q.At(parent, j) <= value {
+			left++
+		}
+	}
+	if left == 0 || left == nObs {
+		return 0, 0
+	}
+	prow := q.Row(parent)
+	successes, steps := 0, 0
+	for steps < par.MaxSteps {
+		steps++
+		var ls, rs score.Stats
+		for k := 0; k < nObs; k++ {
+			pick := sub.Intn(nObs)
+			j := ref.node.Obs[pick]
+			if prow[j] <= value {
+				ls.Merge(ref.colStats[pick])
+			} else {
+				rs.Merge(ref.colStats[pick])
+			}
+		}
+		delta := pr.LogML(ls) + pr.LogML(rs) - pr.LogML(ls.Plus(rs))
+		if delta > 0 {
+			successes++
+		}
+		if steps >= par.MinSteps {
+			phat := float64(successes) / float64(steps)
+			hw := 1.96 * math.Sqrt(phat*(1-phat)/float64(steps))
+			if hw < par.CIHalfWidth {
+				break
+			}
+		}
+	}
+	return float64(successes) / float64(steps), steps
+}
+
+// TestPosteriorMatchesPreKernel: the kernel/leftMask posterior must return
+// the identical (posterior, steps) pair — same float bits, same PRNG
+// consumption — as the pre-kernel implementation for every candidate.
+func TestPosteriorMatchesPreKernel(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 17)
+	pr := score.DefaultPrior()
+	par := Params{MaxSteps: 24}.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	kern := score.NewKernel(pr, maxStatsN(nodes))
+	sc := &scratch{parent: -1}
+	g := prng.New(19)
+	for _, ref := range nodes {
+		for ci := ref.offset; ci < ref.offset+ref.count; ci++ {
+			wantP, wantS := posteriorPreKernel(q, pr, ref, par.Candidates, ci, g.Substream(uint64(ci)), par)
+			gotP, gotS := posterior(q, kern, ref, par.Candidates, ci, g.Substream(uint64(ci)), par, sc)
+			if math.Float64bits(gotP) != math.Float64bits(wantP) || gotS != wantS {
+				t.Fatalf("candidate %d: kernel posterior (%v, %d), pre-kernel (%v, %d)",
+					ci, gotP, gotS, wantP, wantS)
+			}
+		}
+	}
+	if kern.Fallbacks() != 0 {
+		t.Fatalf("kernel fell back %d times; maxStatsN sized the table too small", kern.Fallbacks())
+	}
+}
+
+// BenchmarkPosterior contrasts the pre-kernel hot loop with the kernel +
+// leftMask + parent-column-cache implementation over one full candidate
+// sweep (the acceptance bar is ≥ 1.3× on the kernel side).
+func BenchmarkPosterior(b *testing.B) {
+	q, modules, trees, _ := fixture(b, 1)
+	pr := score.DefaultPrior()
+	par := Params{MaxSteps: 32, CIHalfWidth: -1}.withDefaults(q.N)
+	nodes := enumerate(q, modules, trees, par.Candidates)
+	total := 0
+	for _, ref := range nodes {
+		total += ref.count
+	}
+	// Position one generator per candidate up front: substream derivation is
+	// identical on both sides and not part of the scoring work under test.
+	g := prng.New(11)
+	subs := make([]*prng.MRG3, total)
+	for ci := range subs {
+		subs[ci] = g.Substream(uint64(ci))
+	}
+	sweep := func(eval func(ref *nodeRef, ci int, sub *prng.MRG3) float64) float64 {
+		var sum float64
+		ni := 0
+		for ci := 0; ci < total; ci++ {
+			for nodes[ni].offset+nodes[ni].count <= ci {
+				ni++
+			}
+			sum += eval(nodes[ni], ci, subs[ci].Clone())
+		}
+		return sum
+	}
+	b.Run("prekernel", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sweep(func(ref *nodeRef, ci int, sub *prng.MRG3) float64 {
+				p, _ := posteriorPreKernel(q, pr, ref, par.Candidates, ci, sub, par)
+				return p
+			})
+		}
+	})
+	b.Run("kernel", func(b *testing.B) {
+		kern := score.NewKernel(pr, maxStatsN(nodes))
+		sc := &scratch{parent: -1}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sweep(func(ref *nodeRef, ci int, sub *prng.MRG3) float64 {
+				p, _ := posterior(q, kern, ref, par.Candidates, ci, sub, par, sc)
+				return p
+			})
+		}
+	})
 }
