@@ -7,7 +7,7 @@
 
 GO ?= go
 
-.PHONY: tier1 fmt vet lint build test race faults fuzz fuzz-score bench
+.PHONY: tier1 fmt vet lint build test race faults fuzz fuzz-score fuzz-wire bench
 
 tier1: fmt vet lint build test race faults
 
@@ -35,7 +35,7 @@ test:
 
 race:
 	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/ ./internal/obs/ \
-		./internal/core/ ./internal/ganesh/
+		./internal/core/ ./internal/ganesh/ ./internal/wire/
 
 # The fault-injection and crash-recovery suite, race-enabled: injected
 # crashes/delays/drops in comm, the dynamic-coordinator watchdog, and the
@@ -45,9 +45,19 @@ faults:
 		./internal/comm/ ./internal/splits/ ./internal/core/
 
 # Short native-fuzzing pass over the TSV loader (the long-running campaign
-# is `go test -fuzz=FuzzReadTSV ./internal/dataset/` without -fuzztime).
-fuzz:
+# is `go test -fuzz=FuzzReadTSV ./internal/dataset/` without -fuzztime),
+# plus the wire-format deserializers.
+fuzz: fuzz-wire
 	$(GO) test -run '^$$' -fuzz FuzzReadTSV -fuzztime 10s ./internal/dataset/
+
+# Short native-fuzzing pass over the binary wire format (DESIGN §12): the
+# checkpoint read path (format auto-detection, v3 binary, strict v2 JSON)
+# and the network deserializers. No input may panic, and any network that
+# decodes must validate. One invocation per target (go test allows a single
+# -fuzz match per run); seed corpora live in testdata/fuzz/.
+fuzz-wire:
+	$(GO) test -run '^$$' -fuzz 'FuzzWireCheckpoint$$' -fuzztime 10s ./internal/core/
+	$(GO) test -run '^$$' -fuzz 'FuzzWireNetwork$$' -fuzztime 10s ./internal/result/
 
 # Short native-fuzzing pass over the score quantizers every selection path
 # shares — no panics on NaN/±Inf/subnormals, weights on [0, MaxWeight], and

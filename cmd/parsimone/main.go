@@ -40,6 +40,53 @@ func writeFileWith(path string, fn func(io.Writer) error) error {
 	return err
 }
 
+// resolveOutFormat maps the -out-format flag (and, for auto, the -out
+// suffix) to a concrete format.
+func resolveOutFormat(flag, out string) (string, error) {
+	switch flag {
+	case "xml", "json", "binary":
+		return flag, nil
+	case "auto":
+		switch {
+		case strings.HasSuffix(out, ".json"):
+			return "json", nil
+		case strings.HasSuffix(out, ".bin"):
+			return "binary", nil
+		default:
+			return "xml", nil
+		}
+	default:
+		return "", fmt.Errorf("unknown -out-format %q (want auto, xml, json, or binary)", flag)
+	}
+}
+
+// verifyNetworkFile reloads a just-written network file and checks it
+// decodes to exactly the network that was written — an end-to-end check of
+// the serialization path (-verify-out).
+func verifyNetworkFile(path, format string, want *result.Network) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var got *result.Network
+	switch format {
+	case "json":
+		got, err = result.ReadJSON(f)
+	case "binary":
+		got, err = result.ReadBinary(f)
+	default:
+		got, err = result.ReadXML(f)
+	}
+	if err != nil {
+		return fmt.Errorf("verifying %s: %w", path, err)
+	}
+	if !result.Equal(got, want) {
+		return fmt.Errorf("verifying %s: reloaded network differs from the learned one", path)
+	}
+	return nil
+}
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "parsimone:", err)
@@ -52,7 +99,9 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("parsimone", flag.ContinueOnError)
 	var (
 		in         = fs.String("in", "", "input TSV expression matrix (required)")
-		out        = fs.String("out", "network.xml", "output network file (.xml or .json)")
+		out        = fs.String("out", "network.xml", "output network file (.xml, .json, or .bin)")
+		outFormat  = fs.String("out-format", "auto", "output network format: auto (by -out suffix: .json → json, .bin → binary, else xml), xml, json, or binary")
+		verifyOut  = fs.Bool("verify-out", false, "after writing -out, reload it and verify it decodes to the identical network")
 		ranks      = fs.Int("p", 1, "number of message-passing ranks")
 		threads    = fs.Int("threads", 1, "intra-rank worker goroutines per rank (W); the network is identical for every (p, W)")
 		seed       = fs.Uint64("seed", 1, "PRNG seed")
@@ -63,6 +112,7 @@ func run(args []string, stdout io.Writer) error {
 		maxSteps   = fs.Int("max-steps", 64, "bootstrap sampling cap per split (S)")
 		dist       = fs.String("dist", "static", "parallel split distribution: static, scan, or dynamic")
 		ckptDir    = fs.String("checkpoint", "", "checkpoint directory: task outputs and per-module progress are persisted there, and a rerun with the same data, seed, and options resumes from whatever checkpoints exist, learning the identical network; stale checkpoints from other configurations are rejected")
+		ckptFormat = fs.String("checkpoint-format", "json", "checkpoint file format: json (v2) or binary (v3, several times smaller); reads auto-detect, so either setting resumes a directory written by the other")
 		restarts   = fs.Int("max-restarts", 0, "with -p > 1: restart the world up to this many times after a rank failure, resuming from -checkpoint if set")
 		regulators = fs.String("regulators", "", "comma-separated candidate regulator names (default: all variables)")
 		subN       = fs.Int("n", 0, "use only the first n variables (0 = all)")
@@ -94,6 +144,13 @@ func run(args []string, stdout io.Writer) error {
 		if fi, err := os.Stat(*ckptDir); err == nil && !fi.IsDir() {
 			return fmt.Errorf("-checkpoint %q exists and is not a directory", *ckptDir)
 		}
+	}
+	if *ckptFormat != "json" && *ckptFormat != "binary" {
+		return fmt.Errorf("unknown -checkpoint-format %q (want json or binary)", *ckptFormat)
+	}
+	format, err := resolveOutFormat(*outFormat, *out)
+	if err != nil {
+		return err
 	}
 
 	d, err := dataset.LoadTSV(*in)
@@ -128,6 +185,7 @@ func run(args []string, stdout io.Writer) error {
 	opt.Module.Splits.NumSplits = *numSplits
 	opt.Module.Splits.MaxSteps = *maxSteps
 	opt.CheckpointDir = *ckptDir
+	opt.BinaryCheckpoints = *ckptFormat == "binary"
 	opt.MaxRestarts = *restarts
 	switch *dist {
 	case "static":
@@ -226,24 +284,25 @@ func run(args []string, stdout io.Writer) error {
 		logf("wrote heap profile to %s", *pprofHeap)
 	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		return err
-	}
-	if strings.HasSuffix(*out, ".json") {
-		err = output.Network.WriteJSON(f)
-	} else {
-		err = output.Network.WriteXML(f)
-	}
-	// Close errors surface buffered-write failures (e.g. a full disk) that
-	// a deferred close would swallow.
-	if cerr := f.Close(); err == nil {
-		err = cerr
-	}
-	if err != nil {
+	if err := writeFileWith(*out, func(w io.Writer) error {
+		switch format {
+		case "json":
+			return output.Network.WriteJSON(w)
+		case "binary":
+			return output.Network.WriteBinary(w)
+		default:
+			return output.Network.WriteXML(w)
+		}
+	}); err != nil {
 		return fmt.Errorf("writing %s: %w", *out, err)
 	}
-	logf("wrote %s", *out)
+	logf("wrote %s (%s)", *out, format)
+	if *verifyOut {
+		if err := verifyNetworkFile(*out, format, output.Network); err != nil {
+			return err
+		}
+		logf("verified %s reloads to the identical network", *out)
+	}
 
 	if *acyclic {
 		edges := result.EnforceAcyclic(output.Network.ModuleGraph(), len(output.Network.Modules))

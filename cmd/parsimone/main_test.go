@@ -67,6 +67,124 @@ func TestRunJSONOutput(t *testing.T) {
 	}
 }
 
+// TestRunOutFormats: every output format round-trips through -verify-out
+// (the CLI reloads its own -out file and compares), the binary form is the
+// smallest, and -out-format overrides the suffix.
+func TestRunOutFormats(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	base := []string{"-in", in, "-max-steps", "8", "-quiet", "-verify-out"}
+	sizes := map[string]int64{}
+	for _, out := range []string{"net.xml", "net.json", "net.bin"} {
+		path := filepath.Join(dir, out)
+		if err := run(append(append([]string{}, base...), "-out", path), new(bytes.Buffer)); err != nil {
+			t.Fatalf("%s: %v", out, err)
+		}
+		fi, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes[out] = fi.Size()
+	}
+	if sizes["net.bin"] >= sizes["net.json"] || sizes["net.bin"] >= sizes["net.xml"] {
+		t.Fatalf("binary output not the smallest: %v", sizes)
+	}
+	// The three formats decode to the same network.
+	readNet := func(name string, read func(*os.File) (*result.Network, error)) *result.Network {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		n, err := read(f)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return n
+	}
+	xmlNet := readNet("net.xml", func(f *os.File) (*result.Network, error) { return result.ReadXML(f) })
+	jsonNet := readNet("net.json", func(f *os.File) (*result.Network, error) { return result.ReadJSON(f) })
+	binNet := readNet("net.bin", func(f *os.File) (*result.Network, error) { return result.ReadBinary(f) })
+	if !result.Equal(jsonNet, xmlNet) || !result.Equal(binNet, xmlNet) {
+		t.Fatal("formats decode to different networks")
+	}
+	// -out-format overrides the suffix: write binary into a .xml name.
+	forced := filepath.Join(dir, "forced.xml")
+	if err := run(append(append([]string{}, base...), "-out", forced, "-out-format", "binary"),
+		new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(forced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if n, err := result.ReadBinary(f); err != nil || !result.Equal(n, xmlNet) {
+		t.Fatalf("-out-format binary not honored: %v", err)
+	}
+}
+
+// TestRunCheckpointFormats: -checkpoint-format binary produces smaller
+// checkpoint files, and a directory written under one format resumes under
+// the other with the identical network.
+func TestRunCheckpointFormats(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	ckptJSON := filepath.Join(dir, "ckpt-json")
+	ckptBin := filepath.Join(dir, "ckpt-bin")
+	base := []string{"-in", in, "-max-steps", "8", "-quiet"}
+	run1 := append(append([]string{}, base...), "-out", filepath.Join(dir, "a.xml"), "-checkpoint", ckptJSON)
+	run2 := append(append([]string{}, base...), "-out", filepath.Join(dir, "b.xml"), "-checkpoint", ckptBin, "-checkpoint-format", "binary")
+	for _, args := range [][]string{run1, run2} {
+		if err := run(args, new(bytes.Buffer)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var jsonSize, binSize int64
+	for _, name := range []string{"ensembles.json", "modules.json", "progress.json"} {
+		fj, err := os.Stat(filepath.Join(ckptJSON, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		fb, err := os.Stat(filepath.Join(ckptBin, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonSize += fj.Size()
+		binSize += fb.Size()
+	}
+	if binSize*5 > jsonSize {
+		t.Fatalf("binary checkpoints %d B not ≥5× smaller than JSON %d B", binSize, jsonSize)
+	}
+	// Cross-format resume: rerun over the binary directory with the JSON
+	// setting (and vice versa); the networks must match the originals.
+	run3 := append(append([]string{}, base...), "-out", filepath.Join(dir, "c.xml"), "-checkpoint", ckptBin)
+	run4 := append(append([]string{}, base...), "-out", filepath.Join(dir, "d.xml"), "-checkpoint", ckptJSON, "-checkpoint-format", "binary")
+	for _, args := range [][]string{run3, run4} {
+		if err := run(args, new(bytes.Buffer)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	read := func(name string) *result.Network {
+		f, err := os.Open(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		n, err := result.ReadXML(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	a := read("a.xml")
+	for _, name := range []string{"b.xml", "c.xml", "d.xml"} {
+		if !result.Equal(read(name), a) {
+			t.Fatalf("%s differs from the first run", name)
+		}
+	}
+}
+
 // TestRunParallelAndDistPathsIdentical: the CLI must produce byte-identical
 // networks across p and split distribution paths.
 func TestRunParallelAndDistPathsIdentical(t *testing.T) {
@@ -158,6 +276,12 @@ func TestRunErrors(t *testing.T) {
 		if err := run([]string{"-in", in, "-threads", w}, new(bytes.Buffer)); err == nil {
 			t.Fatalf("-threads %s accepted", w)
 		}
+	}
+	if err := run([]string{"-in", in, "-checkpoint-format", "bogus"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("bad -checkpoint-format accepted")
+	}
+	if err := run([]string{"-in", in, "-out-format", "bogus"}, new(bytes.Buffer)); err == nil {
+		t.Fatal("bad -out-format accepted")
 	}
 	// An unwritable output path must surface a write error.
 	if err := run([]string{"-in", in, "-max-steps", "8", "-quiet",

@@ -100,6 +100,7 @@ var DeterministicPackages = map[string]bool{
 	"cluster":    true,
 	"ltbaseline": true,
 	"genomica":   true,
+	"wire":       true,
 }
 
 // WallclockExempt names the packages allowed to read the wallclock and

@@ -15,3 +15,7 @@ func TestPRNGOnly(t *testing.T) { analysistest.Run(t, prngonly.Analyzer, "engine
 // TestExemptPackage proves the obs/trace/bench allowlist: a package named
 // obs may read the wallclock freely.
 func TestExemptPackage(t *testing.T) { analysistest.Run(t, prngonly.Analyzer, "obs") }
+
+// TestWirePackage proves the serialization codecs are not exempt: encoded
+// bytes must be a pure function of the encoded values.
+func TestWirePackage(t *testing.T) { analysistest.Run(t, prngonly.Analyzer, "wire") }

@@ -1,0 +1,17 @@
+// Seeded case proving the wire codec package is not wallclock-exempt: the
+// encoded bytes must be a pure function of the encoded values (resume
+// bit-identity), so PRNG imports and wallclock reads are flagged.
+package wire
+
+import (
+	"math/rand" // want "bypasses internal/prng"
+	"time"
+)
+
+func randomPadding() int {
+	return rand.Int()
+}
+
+func stamp() time.Time {
+	return time.Now() // want "wallclock read"
+}

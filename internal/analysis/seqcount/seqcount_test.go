@@ -14,3 +14,7 @@ func TestSeqCount(t *testing.T) { analysistest.Run(t, seqcount.Analyzer, "ganesh
 // TestNonDeterministicPackage proves goroutines outside the deterministic
 // set (e.g. the comm runtime, the pool itself) are not flagged.
 func TestNonDeterministicPackage(t *testing.T) { analysistest.Run(t, seqcount.Analyzer, "other") }
+
+// TestWirePackage proves the serialization codecs are guarded too: the
+// checkpoint bytes they produce are compared bit-for-bit on resume.
+func TestWirePackage(t *testing.T) { analysistest.Run(t, seqcount.Analyzer, "wire") }

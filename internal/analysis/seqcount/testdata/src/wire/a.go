@@ -1,0 +1,14 @@
+// Seeded case proving the wire codec package sits inside the deterministic
+// set: its encoders feed checkpoint bytes compared bit-for-bit across
+// (p, W) configurations, so ad-hoc goroutines are flagged there too.
+package wire
+
+func launch(work func()) {
+	go work() // want "ad-hoc goroutine"
+}
+
+func encodeSequentially(parts []func()) {
+	for _, p := range parts {
+		p()
+	}
+}

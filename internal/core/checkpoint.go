@@ -13,28 +13,39 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
 	"sort"
 
 	"parsimone/internal/module"
+	"parsimone/internal/wire"
 )
 
-// checkpoint file names inside Options.CheckpointDir.
+// checkpoint file names inside Options.CheckpointDir. The names are stable
+// across formats: a v3 binary checkpoint still lives in ensembles.json etc.,
+// and readers detect the format by content (wire magic vs JSON), so a
+// directory written by either format resumes under either setting.
 const (
 	ckptEnsembles = "ensembles.json"
 	ckptModules   = "modules.json"
 	ckptProgress  = "progress.json"
 )
 
-// checkpointVersion is the current on-disk format. Files written before
-// versioning was introduced decode as version 0 and are rejected; there is
-// no migration — delete the directory and re-learn.
-const checkpointVersion = 2
+// Checkpoint format versions. v2 is the JSON format; v3 is the binary wire
+// format (internal/wire, DESIGN §12) written when Options.BinaryCheckpoints
+// is set. The read path accepts both, auto-detected by magic. Files written
+// before versioning carry no version field and are rejected; there is no
+// migration — delete the directory and re-learn.
+const (
+	checkpointVersion       = 2
+	checkpointVersionBinary = 3
+)
 
 // ensemblesCheckpoint persists the GaneSH task's output.
 type ensemblesCheckpoint struct {
@@ -70,8 +81,14 @@ type progressCheckpoint struct {
 	Units      []*module.Unit `json:"units"`
 }
 
-// checkVersion rejects checkpoint files written in another format.
-func checkVersion(name string, got int) error {
+// checkVersion rejects JSON checkpoint files written in another format.
+// A file where the version field is simply absent predates versioning and
+// is reported as such, not as the misleading "format v0".
+func checkVersion(name string, got int, present bool) error {
+	if !present {
+		return fmt.Errorf("core: checkpoint %s has no version field (pre-versioning format), expected v%d — delete the checkpoint directory to re-learn",
+			name, checkpointVersion)
+	}
 	if got != checkpointVersion {
 		return fmt.Errorf("core: checkpoint %s is format v%d, expected v%d — delete the checkpoint directory to re-learn",
 			name, got, checkpointVersion)
@@ -79,9 +96,23 @@ func checkVersion(name string, got int) error {
 	return nil
 }
 
+// wireCheckpoint is the codec contract each checkpoint type implements for
+// the v3 binary format: its wire header (kind plus the configuration triple
+// the loaders validate) and its section payloads.
+type wireCheckpoint interface {
+	wireKind() wire.Kind
+	wireHeader() wire.Header
+	encodeSections() []wire.Section
+	decodeSections(h wire.Header, secs []wire.Section) error
+}
+
 // loadCheckpoint reads and validates a checkpoint file into v; a missing
-// file returns (false, nil).
-func loadCheckpoint(dir, name string, v any) (bool, error) {
+// file returns (false, nil). The format is auto-detected by content: a v3
+// binary file starts with the wire magic, anything else is decoded as the
+// v2 JSON format — strictly. Unknown or misspelled JSON fields and trailing
+// garbage (a concatenated or half-overwritten file) are corruption, never a
+// silent partial resume.
+func loadCheckpoint(dir, name string, v wireCheckpoint) (bool, error) {
 	data, err := os.ReadFile(filepath.Join(dir, name))
 	if errors.Is(err, fs.ErrNotExist) {
 		return false, nil
@@ -89,8 +120,39 @@ func loadCheckpoint(dir, name string, v any) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	if err := json.Unmarshal(data, v); err != nil {
+	if wire.IsWire(data) {
+		h, secs, err := wire.DecodeFile(data)
+		if err != nil {
+			return false, fmt.Errorf("core: corrupt checkpoint %s: %w", name, err)
+		}
+		if h.Kind != v.wireKind() {
+			return false, fmt.Errorf("core: checkpoint %s is a %s, expected a %s", name, h.Kind, v.wireKind())
+		}
+		if err := v.decodeSections(h, secs); err != nil {
+			return false, fmt.Errorf("core: corrupt checkpoint %s: %w", name, err)
+		}
+		return true, nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
 		return false, fmt.Errorf("core: corrupt checkpoint %s: %w", name, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return false, fmt.Errorf("core: corrupt checkpoint %s: trailing data after the JSON document", name)
+	}
+	// Distinguish an absent version field from an explicit one: the struct
+	// field alone cannot (both decode to 0).
+	var probe struct {
+		Version *int `json:"version"`
+	}
+	_ = json.Unmarshal(data, &probe) // data already decoded strictly above
+	version := 0
+	if probe.Version != nil {
+		version = *probe.Version
+	}
+	if err := checkVersion(name, version, probe.Version != nil); err != nil {
+		return false, err
 	}
 	return true, nil
 }
@@ -99,11 +161,17 @@ func loadCheckpoint(dir, name string, v any) (bool, error) {
 // write a temp file, fsync it, rename over the final name, and fsync the
 // directory. Without the fsyncs a crash can leave a renamed-but-truncated
 // file that loadCheckpoint rejects as corrupt on resume; a stale .tmp from
-// an earlier crash is simply overwritten.
-func saveCheckpoint(dir, name string, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return err
+// an earlier crash is simply overwritten. With binary set the v3 wire
+// format is written instead of v2 JSON; both resume interchangeably.
+func saveCheckpoint(dir, name string, v wireCheckpoint, binary bool) error {
+	var data []byte
+	if binary {
+		data = wire.EncodeFile(v.wireHeader(), v.encodeSections())
+	} else {
+		var err error
+		if data, err = json.Marshal(v); err != nil {
+			return err
+		}
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -143,9 +211,6 @@ func loadEnsembles(dir string, opt Options, n int) ([][][]int, error) {
 	if err != nil || !ok {
 		return nil, err
 	}
-	if err := checkVersion(ckptEnsembles, ck.Version); err != nil {
-		return nil, err
-	}
 	if ck.Seed != opt.Seed || ck.GaneshRuns != opt.GaneshRuns || ck.N != n {
 		return nil, fmt.Errorf("core: checkpoint %s was written by a different configuration (seed %d, G %d, n %d)",
 			ckptEnsembles, ck.Seed, ck.GaneshRuns, ck.N)
@@ -159,9 +224,6 @@ func loadModules(dir string, opt Options, n int) ([][]int, bool, error) {
 	var ck modulesCheckpoint
 	ok, err := loadCheckpoint(dir, ckptModules, &ck)
 	if err != nil || !ok {
-		return nil, false, err
-	}
-	if err := checkVersion(ckptModules, ck.Version); err != nil {
 		return nil, false, err
 	}
 	if ck.Seed != opt.Seed || ck.GaneshRuns != opt.GaneshRuns || ck.N != n {
@@ -180,9 +242,6 @@ func loadProgress(dir string, opt Options, n int, moduleVars [][]int) (map[int]*
 	var ck progressCheckpoint
 	ok, err := loadCheckpoint(dir, ckptProgress, &ck)
 	if err != nil || !ok {
-		return nil, err
-	}
-	if err := checkVersion(ckptProgress, ck.Version); err != nil {
 		return nil, err
 	}
 	if ck.Seed != opt.Seed || ck.GaneshRuns != opt.GaneshRuns || ck.N != n {
@@ -219,7 +278,7 @@ func saveProgress(dir string, opt Options, n int, units map[int]*module.Unit) er
 		ck.Units = append(ck.Units, u)
 	}
 	sort.Slice(ck.Units, func(i, j int) bool { return ck.Units[i].Module < ck.Units[j].Module })
-	return saveCheckpoint(dir, ckptProgress, &ck)
+	return saveCheckpoint(dir, ckptProgress, &ck, opt.BinaryCheckpoints)
 }
 
 // equalInts reports whether a and b hold the same sequence.

@@ -1,0 +1,154 @@
+// Checkpoint v3: the binary wire-format codecs for the three checkpoint
+// files (DESIGN §12). Every file carries the self-describing wire header —
+// magic, format version, kind, and the (seed, GaneshRuns, N) configuration
+// triple the loaders validate — followed by one payload section per file.
+// Readers dispatch on section IDs and skip unknown ones, so later revisions
+// can append sections (say, integrity hashes) without a version bump.
+
+package core
+
+import (
+	"fmt"
+
+	"parsimone/internal/module"
+	"parsimone/internal/wire"
+)
+
+// Section IDs, scoped per file kind. ID 1 is each file's payload.
+const secPayload = 1
+
+// header builds the shared wire header for a checkpoint's guard fields.
+func ckptHeader(kind wire.Kind, seed uint64, ganeshRuns, n int) wire.Header {
+	return wire.Header{Kind: kind, Seed: seed, GaneshRuns: ganeshRuns, N: n}
+}
+
+// payloadSection wraps an encoded body as the single payload section.
+func payloadSection(e *wire.Encoder) []wire.Section {
+	return []wire.Section{{ID: secPayload, Body: e.Bytes()}}
+}
+
+// requirePayload finds the payload section or reports which file is broken.
+func requirePayload(secs []wire.Section, kind wire.Kind) (*wire.Decoder, error) {
+	body, ok := wire.FindSection(secs, secPayload)
+	if !ok {
+		return nil, fmt.Errorf("%s has no payload section", kind)
+	}
+	return wire.NewDecoder(body), nil
+}
+
+// finish checks the payload was consumed exactly.
+func finishPayload(d *wire.Decoder, kind wire.Kind) error {
+	if err := d.Err(); err != nil {
+		return fmt.Errorf("%s: %w", kind, err)
+	}
+	if d.Remaining() != 0 {
+		return fmt.Errorf("%s payload has %d trailing bytes", kind, d.Remaining())
+	}
+	return nil
+}
+
+// --- ensembles.json (v3): G runs × clusters × delta-coded member lists ---
+
+func (ck *ensemblesCheckpoint) wireKind() wire.Kind { return wire.KindEnsembles }
+
+func (ck *ensemblesCheckpoint) wireHeader() wire.Header {
+	return ckptHeader(wire.KindEnsembles, ck.Seed, ck.GaneshRuns, ck.N)
+}
+
+func (ck *ensemblesCheckpoint) encodeSections() []wire.Section {
+	e := wire.NewEncoder()
+	e.Uvarint(uint64(len(ck.Ensembles)))
+	for _, run := range ck.Ensembles {
+		e.Uvarint(uint64(len(run)))
+		for _, cluster := range run {
+			e.SortedInts(cluster)
+		}
+	}
+	return payloadSection(e)
+}
+
+func (ck *ensemblesCheckpoint) decodeSections(h wire.Header, secs []wire.Section) error {
+	d, err := requirePayload(secs, wire.KindEnsembles)
+	if err != nil {
+		return err
+	}
+	ck.Version = checkpointVersionBinary
+	ck.Seed, ck.GaneshRuns, ck.N = h.Seed, h.GaneshRuns, h.N
+	runs := d.Count(1)
+	ck.Ensembles = make([][][]int, 0, runs)
+	for r := 0; r < runs && d.Err() == nil; r++ {
+		clusters := d.Count(1)
+		run := make([][]int, 0, clusters)
+		for c := 0; c < clusters && d.Err() == nil; c++ {
+			run = append(run, d.SortedInts())
+		}
+		ck.Ensembles = append(ck.Ensembles, run)
+	}
+	return finishPayload(d, wire.KindEnsembles)
+}
+
+// --- modules.json (v3): delta-coded consensus module member lists ---
+
+func (ck *modulesCheckpoint) wireKind() wire.Kind { return wire.KindModules }
+
+func (ck *modulesCheckpoint) wireHeader() wire.Header {
+	return ckptHeader(wire.KindModules, ck.Seed, ck.GaneshRuns, ck.N)
+}
+
+func (ck *modulesCheckpoint) encodeSections() []wire.Section {
+	e := wire.NewEncoder()
+	e.Uvarint(uint64(len(ck.ModuleVars)))
+	for _, vars := range ck.ModuleVars {
+		e.SortedInts(vars)
+	}
+	return payloadSection(e)
+}
+
+func (ck *modulesCheckpoint) decodeSections(h wire.Header, secs []wire.Section) error {
+	d, err := requirePayload(secs, wire.KindModules)
+	if err != nil {
+		return err
+	}
+	ck.Version = checkpointVersionBinary
+	ck.Seed, ck.GaneshRuns, ck.N = h.Seed, h.GaneshRuns, h.N
+	nm := d.Count(1)
+	ck.ModuleVars = make([][]int, 0, nm)
+	for i := 0; i < nm && d.Err() == nil; i++ {
+		ck.ModuleVars = append(ck.ModuleVars, d.SortedInts())
+	}
+	return finishPayload(d, wire.KindModules)
+}
+
+// --- progress.json (v3): completed module units ---
+
+func (ck *progressCheckpoint) wireKind() wire.Kind { return wire.KindProgress }
+
+func (ck *progressCheckpoint) wireHeader() wire.Header {
+	return ckptHeader(wire.KindProgress, ck.Seed, ck.GaneshRuns, ck.N)
+}
+
+func (ck *progressCheckpoint) encodeSections() []wire.Section {
+	e := wire.NewEncoder()
+	e.Uvarint(uint64(len(ck.Units)))
+	for _, u := range ck.Units {
+		u.EncodeWire(e)
+	}
+	return payloadSection(e)
+}
+
+func (ck *progressCheckpoint) decodeSections(h wire.Header, secs []wire.Section) error {
+	d, err := requirePayload(secs, wire.KindProgress)
+	if err != nil {
+		return err
+	}
+	ck.Version = checkpointVersionBinary
+	ck.Seed, ck.GaneshRuns, ck.N = h.Seed, h.GaneshRuns, h.N
+	nu := d.Count(1)
+	ck.Units = make([]*module.Unit, 0, nu)
+	for i := 0; i < nu && d.Err() == nil; i++ {
+		if u := module.DecodeUnitWire(d); u != nil {
+			ck.Units = append(ck.Units, u)
+		}
+	}
+	return finishPayload(d, wire.KindProgress)
+}

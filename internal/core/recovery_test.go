@@ -11,6 +11,7 @@ import (
 	"parsimone/internal/comm"
 	"parsimone/internal/dataset"
 	"parsimone/internal/result"
+	"parsimone/internal/wire"
 )
 
 // recoveryFixture is shared by the recovery tests: a data set whose consensus
@@ -34,7 +35,8 @@ func recoveryFixture(t *testing.T) (*dataset.Data, Options, *Output) {
 // fault-tolerance layer: a rank killed at each task boundary and at three
 // module-learning crash points, followed by an automatic supervised restart
 // from checkpoints, yields a network bit-identical to the uninterrupted run
-// for p ∈ {1, 2, 4}.
+// for p ∈ {1, 2, 4} — under both the v2 JSON and the v3 binary checkpoint
+// formats.
 func TestFailpointRecoveryBitIdentical(t *testing.T) {
 	d, opt, want := recoveryFixture(t)
 	nm := len(want.Network.Modules)
@@ -45,28 +47,34 @@ func TestFailpointRecoveryBitIdentical(t *testing.T) {
 		fmt.Sprintf("module:%d", nm/2),
 		fmt.Sprintf("module:%d", nm-1),
 	}
-	for _, p := range []int{1, 2, 4} {
-		for _, fp := range failpoints {
-			t.Run(fmt.Sprintf("p%d_%s", p, fp), func(t *testing.T) {
-				injected := opt
-				injected.CheckpointDir = t.TempDir()
-				injected.MaxRestarts = 1
-				injected.Inject = &FaultSpec{Task: fp, Rank: 0}
-				got, err := LearnParallel(p, d, injected)
-				if err != nil {
-					t.Fatalf("recovery failed: %v", err)
-				}
-				if !result.Equal(got.Network, want.Network) {
-					t.Fatal("recovered network differs from the uninterrupted run")
-				}
-				if len(got.Recovery) != 1 {
-					t.Fatalf("recorded %d recovery events, want 1", len(got.Recovery))
-				}
-				ev := got.Recovery[0]
-				if ev.Rank != 0 || !ev.Panicked || !strings.Contains(ev.Err, fp) {
-					t.Fatalf("recovery event %+v does not describe the injected failpoint %q", ev, fp)
-				}
-			})
+	for _, format := range []struct {
+		name   string
+		binary bool
+	}{{"json", false}, {"binary", true}} {
+		for _, p := range []int{1, 2, 4} {
+			for _, fp := range failpoints {
+				t.Run(fmt.Sprintf("%s_p%d_%s", format.name, p, fp), func(t *testing.T) {
+					injected := opt
+					injected.CheckpointDir = t.TempDir()
+					injected.BinaryCheckpoints = format.binary
+					injected.MaxRestarts = 1
+					injected.Inject = &FaultSpec{Task: fp, Rank: 0}
+					got, err := LearnParallel(p, d, injected)
+					if err != nil {
+						t.Fatalf("recovery failed: %v", err)
+					}
+					if !result.Equal(got.Network, want.Network) {
+						t.Fatal("recovered network differs from the uninterrupted run")
+					}
+					if len(got.Recovery) != 1 {
+						t.Fatalf("recorded %d recovery events, want 1", len(got.Recovery))
+					}
+					ev := got.Recovery[0]
+					if ev.Rank != 0 || !ev.Panicked || !strings.Contains(ev.Err, fp) {
+						t.Fatalf("recovery event %+v does not describe the injected failpoint %q", ev, fp)
+					}
+				})
+			}
 		}
 	}
 }
@@ -214,13 +222,30 @@ func TestCrossEngineManifestResume(t *testing.T) {
 }
 
 // TestCheckpointVersionRejected: checkpoint files from another format version
-// (including pre-versioning files, which decode as v0) are rejected with an
-// error that names both versions.
+// are rejected with an error naming both versions, and a pre-versioning file
+// — where the version field is simply absent — is reported as exactly that,
+// not as the misleading "format v0".
 func TestCheckpointVersionRejected(t *testing.T) {
 	d, opt, _ := recoveryFixture(t)
-	t.Run("ensembles_v0", func(t *testing.T) {
+	t.Run("ensembles_missing_version", func(t *testing.T) {
 		dir := t.TempDir()
-		v0 := fmt.Sprintf(`{"seed":%d,"ganeshRuns":%d,"n":%d,"ensembles":[]}`, opt.Seed, opt.GaneshRuns, d.N)
+		pre := fmt.Sprintf(`{"seed":%d,"ganeshRuns":%d,"n":%d,"ensembles":[]}`, opt.Seed, opt.GaneshRuns, d.N)
+		if err := os.WriteFile(filepath.Join(dir, ckptEnsembles), []byte(pre), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resumed := opt
+		resumed.CheckpointDir = dir
+		_, err := Learn(d, resumed)
+		if err == nil || !strings.Contains(err.Error(), "no version field (pre-versioning format), expected v2") {
+			t.Fatalf("got %v, want a pre-versioning rejection", err)
+		}
+		if err != nil && strings.Contains(err.Error(), "format v0") {
+			t.Fatalf("missing version misreported as an explicit v0: %v", err)
+		}
+	})
+	t.Run("ensembles_explicit_v0", func(t *testing.T) {
+		dir := t.TempDir()
+		v0 := fmt.Sprintf(`{"version":0,"seed":%d,"ganeshRuns":%d,"n":%d,"ensembles":[]}`, opt.Seed, opt.GaneshRuns, d.N)
 		if err := os.WriteFile(filepath.Join(dir, ckptEnsembles), []byte(v0), 0o644); err != nil {
 			t.Fatal(err)
 		}
@@ -242,6 +267,21 @@ func TestCheckpointVersionRejected(t *testing.T) {
 		_, err := Learn(d, resumed)
 		if err == nil || !strings.Contains(err.Error(), "format v1, expected v2") {
 			t.Fatalf("got %v, want a version-mismatch rejection", err)
+		}
+	})
+	t.Run("binary_future_version", func(t *testing.T) {
+		dir := t.TempDir()
+		ck := ensemblesCheckpoint{Seed: opt.Seed, GaneshRuns: opt.GaneshRuns, N: d.N}
+		data := wire.EncodeFile(ck.wireHeader(), ck.encodeSections())
+		data[4]++ // bump the wire version byte right after the magic
+		if err := os.WriteFile(filepath.Join(dir, ckptEnsembles), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		resumed := opt
+		resumed.CheckpointDir = dir
+		_, err := Learn(d, resumed)
+		if err == nil || !strings.Contains(err.Error(), "format v2, this build expects v1") {
+			t.Fatalf("got %v, want a wire version-mismatch rejection", err)
 		}
 	})
 }

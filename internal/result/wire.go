@@ -1,0 +1,253 @@
+// Binary serialization of the learned network (DESIGN §12). The wire file
+// carries the self-describing header (KindNetwork, N) and one payload
+// section. Names appear once: module variable names and parent names that
+// are derivable from the network-level Names table are encoded as a one-byte
+// "derived" marker instead of repeated strings, which is the common case for
+// networks learned from a named data set. Scores are fixed 8-byte IEEE-754
+// so a decoded network is bit-identical to the encoded one (§5.2.1).
+
+package result
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"parsimone/internal/wire"
+)
+
+// secNetwork is the single payload section ID of a KindNetwork file.
+const secNetwork = 1
+
+// Name-reference modes: how a name field was encoded.
+const (
+	nameAbsent   = 0 // no name stored
+	nameDerived  = 1 // equal to Names[index]; not repeated on the wire
+	nameExplicit = 2 // literal string follows
+)
+
+// WriteBinary serializes the network in the versioned binary wire format.
+func (n *Network) WriteBinary(w io.Writer) error {
+	e := wire.NewEncoder()
+	e.Int(n.M)
+	e.Uvarint(uint64(len(n.Names)))
+	for _, name := range n.Names {
+		e.String(name)
+	}
+	e.Uvarint(uint64(len(n.Modules)))
+	for i := range n.Modules {
+		n.encodeModule(e, &n.Modules[i])
+	}
+	h := wire.Header{Kind: wire.KindNetwork, N: n.N}
+	data := wire.EncodeFile(h, []wire.Section{{ID: secNetwork, Body: e.Bytes()}})
+	_, err := w.Write(data)
+	return err
+}
+
+func (n *Network) encodeModule(e *wire.Encoder, mod *Module) {
+	e.Varint(int64(mod.ID))
+	e.SortedInts(mod.Variables)
+	// Variable names: usually just Names indexed by Variables — encode the
+	// whole list as one derived marker when so.
+	switch {
+	case len(mod.VariableNames) == 0:
+		e.Byte(nameAbsent)
+	case n.namesDerived(mod):
+		e.Byte(nameDerived)
+	default:
+		e.Byte(nameExplicit)
+		e.Uvarint(uint64(len(mod.VariableNames)))
+		for _, name := range mod.VariableNames {
+			e.String(name)
+		}
+	}
+	n.encodeParents(e, mod.Parents)
+	n.encodeParents(e, mod.ParentsUniform)
+}
+
+// namesDerived reports whether mod.VariableNames is exactly Names indexed by
+// mod.Variables, and therefore need not be stored.
+func (n *Network) namesDerived(mod *Module) bool {
+	if len(mod.VariableNames) != len(mod.Variables) {
+		return false
+	}
+	for i, v := range mod.Variables {
+		if v < 0 || v >= len(n.Names) || mod.VariableNames[i] != n.Names[v] {
+			return false
+		}
+	}
+	return true
+}
+
+func (n *Network) encodeParents(e *wire.Encoder, ps []Parent) {
+	e.Uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		e.Varint(int64(p.Index))
+		switch {
+		case p.Name == "":
+			e.Byte(nameAbsent)
+		case p.Index >= 0 && p.Index < len(n.Names) && p.Name == n.Names[p.Index]:
+			e.Byte(nameDerived)
+		default:
+			e.Byte(nameExplicit)
+			e.String(p.Name)
+		}
+		e.Float64(p.Score)
+		e.Varint(int64(p.Count))
+	}
+}
+
+// ReadBinary parses and validates a network written by WriteBinary.
+func ReadBinary(r io.Reader) (*Network, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	h, secs, err := wire.DecodeFile(data)
+	if err != nil {
+		return nil, fmt.Errorf("result: %w", err)
+	}
+	if h.Kind != wire.KindNetwork {
+		return nil, fmt.Errorf("result: file is a %s, expected a %s", h.Kind, wire.KindNetwork)
+	}
+	body, ok := wire.FindSection(secs, secNetwork)
+	if !ok {
+		return nil, fmt.Errorf("result: %s file has no payload section", wire.KindNetwork)
+	}
+	d := wire.NewDecoder(body)
+	n := &Network{N: h.N}
+	n.M = d.Int()
+	if count := d.Count(1); count > 0 {
+		n.Names = make([]string, 0, count)
+		for i := 0; i < count && d.Err() == nil; i++ {
+			n.Names = append(n.Names, d.String())
+		}
+	}
+	nm := d.Count(1)
+	n.Modules = make([]Module, 0, nm)
+	for i := 0; i < nm && d.Err() == nil; i++ {
+		n.Modules = append(n.Modules, n.decodeModule(d))
+	}
+	if err := d.Err(); err != nil {
+		return nil, fmt.Errorf("result: %w", err)
+	}
+	if rem := d.Remaining(); rem != 0 {
+		return nil, fmt.Errorf("result: network payload has %d trailing bytes", rem)
+	}
+	if err := checkLoaded(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+func (n *Network) decodeModule(d *wire.Decoder) Module {
+	mod := Module{ID: int(d.Varint())}
+	mod.Variables = d.SortedInts()
+	switch mode := d.Byte(); mode {
+	case nameAbsent:
+	case nameDerived:
+		mod.VariableNames = make([]string, len(mod.Variables))
+		for i, v := range mod.Variables {
+			if v < 0 || v >= len(n.Names) {
+				d.Failf("derived variable name index %d outside the %d-entry names table", v, len(n.Names))
+				return mod
+			}
+			mod.VariableNames[i] = n.Names[v]
+		}
+	case nameExplicit:
+		count := d.Count(1)
+		mod.VariableNames = make([]string, 0, count)
+		for i := 0; i < count && d.Err() == nil; i++ {
+			mod.VariableNames = append(mod.VariableNames, d.String())
+		}
+	default:
+		d.Failf("unknown name mode %d", mode)
+	}
+	mod.Parents = n.decodeParents(d)
+	mod.ParentsUniform = n.decodeParents(d)
+	return mod
+}
+
+func (n *Network) decodeParents(d *wire.Decoder) []Parent {
+	count := d.Count(11) // index + mode + 8-byte score + count, minimum
+	if count == 0 {
+		return nil
+	}
+	ps := make([]Parent, 0, count)
+	for i := 0; i < count && d.Err() == nil; i++ {
+		p := Parent{Index: int(d.Varint())}
+		switch mode := d.Byte(); mode {
+		case nameAbsent:
+		case nameDerived:
+			if p.Index < 0 || p.Index >= len(n.Names) {
+				d.Failf("derived parent name index %d outside the %d-entry names table", p.Index, len(n.Names))
+				return ps
+			}
+			p.Name = n.Names[p.Index]
+		case nameExplicit:
+			p.Name = d.String()
+		default:
+			d.Failf("unknown name mode %d", mode)
+		}
+		p.Score = d.Float64()
+		p.Count = int(d.Varint())
+		ps = append(ps, p)
+	}
+	return ps
+}
+
+// ReadJSON parses and validates a network written by WriteJSON. The decode
+// is strict: unknown fields and trailing data are errors, as are NaN or
+// infinite parent scores and structurally invalid networks — a reloaded
+// result file either round-trips exactly or fails loudly.
+func ReadJSON(r io.Reader) (*Network, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var n Network
+	if err := dec.Decode(&n); err != nil {
+		return nil, fmt.Errorf("result: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("result: trailing data after the JSON document")
+	}
+	if err := checkLoaded(&n); err != nil {
+		return nil, err
+	}
+	return &n, nil
+}
+
+// checkLoaded validates a deserialized network beyond what Validate covers
+// for freshly learned ones: shape fields non-negative, uniform-baseline
+// parent indices in range, names tables sized consistently, and every score
+// finite (NaN and ±Inf serialize in some formats but can never come from
+// the scorer, so they mark a corrupt or foreign file).
+func checkLoaded(n *Network) error {
+	if n.N < 0 || n.M < 0 {
+		return fmt.Errorf("result: negative data shape %d×%d", n.N, n.M)
+	}
+	if len(n.Names) != 0 && len(n.Names) != n.N {
+		return fmt.Errorf("result: %d names for %d variables", len(n.Names), n.N)
+	}
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	for _, mod := range n.Modules {
+		if len(mod.VariableNames) != 0 && len(mod.VariableNames) != len(mod.Variables) {
+			return fmt.Errorf("result: module %d has %d variable names for %d variables",
+				mod.ID, len(mod.VariableNames), len(mod.Variables))
+		}
+		for _, ps := range [][]Parent{mod.Parents, mod.ParentsUniform} {
+			for _, p := range ps {
+				if p.Index < 0 || p.Index >= n.N {
+					return fmt.Errorf("result: module %d parent %d out of range", mod.ID, p.Index)
+				}
+				if math.IsNaN(p.Score) || math.IsInf(p.Score, 0) {
+					return fmt.Errorf("result: module %d parent %d has non-finite score %v",
+						mod.ID, p.Index, p.Score)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+// Binary (wire-format) codec for regression trees — the bulk of the
+// per-module progress manifest (DESIGN §12).
+//
+// Only the tree *shape* and the *leaves* are encoded. CheckInvariants'
+// contract — every internal node's observation set is the disjoint union of
+// its children's and its statistics match a recomputation — means internal
+// nodes are fully derivable: Obs is the sorted merge of the children's Obs
+// and Stats is the exact integer sum of the children's Stats. Eliding them
+// roughly halves the encoded size (a tree over m observations has m leaves
+// and m−1 internal nodes whose observation lists sum to another full copy
+// of the data per level).
+
+package tree
+
+import (
+	"parsimone/internal/score"
+	"parsimone/internal/wire"
+)
+
+// nodeTag encodes a node's role in the pre-order stream.
+const (
+	nodeTagNil      = 0
+	nodeTagLeaf     = 1
+	nodeTagInternal = 2
+)
+
+// maxWireDepth bounds decode recursion on hostile input. Real trees are
+// bounded by their observation count, far below this.
+const maxWireDepth = 100000
+
+// EncodeWire appends the tree to e: Vars delta-coded, then the node stream
+// in pre-order with leaf observation sets delta-coded and leaf statistics
+// as zigzag varints (exact — the statistics are integer sums of quantized
+// values).
+func (t *Tree) EncodeWire(e *wire.Encoder) {
+	e.SortedInts(t.Vars)
+	encodeNode(e, t.Root)
+}
+
+func encodeNode(e *wire.Encoder, n *Node) {
+	switch {
+	case n == nil:
+		e.Byte(nodeTagNil)
+	case n.IsLeaf():
+		e.Byte(nodeTagLeaf)
+		e.SortedInts(n.Obs)
+		e.Varint(n.Stats.N)
+		e.Varint(n.Stats.Sum)
+		e.Varint(n.Stats.SumSq)
+	default:
+		e.Byte(nodeTagInternal)
+		encodeNode(e, n.Left)
+		encodeNode(e, n.Right)
+	}
+}
+
+// DecodeWire reads a tree written by EncodeWire, reconstructing internal
+// nodes from their children. Errors are reported through d's sticky error;
+// the returned tree is nil once d has failed.
+func DecodeWire(d *wire.Decoder) *Tree {
+	t := &Tree{Vars: d.SortedInts()}
+	t.Root = decodeNode(d, 0)
+	if d.Err() != nil {
+		return nil
+	}
+	return t
+}
+
+func decodeNode(d *wire.Decoder, depth int) *Node {
+	if depth > maxWireDepth {
+		d.Failf("tree deeper than %d levels", maxWireDepth)
+		return nil
+	}
+	switch tag := d.Byte(); tag {
+	case nodeTagNil:
+		return nil
+	case nodeTagLeaf:
+		n := &Node{Obs: d.SortedInts()}
+		n.Stats = score.Stats{N: d.Varint(), Sum: d.Varint(), SumSq: d.Varint()}
+		if d.Err() != nil {
+			return nil
+		}
+		return n
+	case nodeTagInternal:
+		n := &Node{
+			Left:  decodeNode(d, depth+1),
+			Right: decodeNode(d, depth+1),
+		}
+		if d.Err() != nil {
+			return nil
+		}
+		n.Obs = mergeSorted(obsOf(n.Left), obsOf(n.Right))
+		n.Stats = addStats(statsOf(n.Left), statsOf(n.Right))
+		return n
+	default:
+		d.Failf("unknown tree node tag %d", tag)
+		return nil
+	}
+}
+
+func obsOf(n *Node) []int {
+	if n == nil {
+		return nil
+	}
+	return n.Obs
+}
+
+func statsOf(n *Node) score.Stats {
+	if n == nil {
+		return score.Stats{}
+	}
+	return n.Stats
+}
+
+func addStats(a, b score.Stats) score.Stats {
+	return score.Stats{N: a.N + b.N, Sum: a.Sum + b.Sum, SumSq: a.SumSq + b.SumSq}
+}
+
+// mergeSorted merges two sorted int slices into a new sorted slice. For the
+// disjoint partitions tree invariants guarantee, the result is exactly the
+// parent's original observation set.
+func mergeSorted(a, b []int) []int {
+	if len(a) == 0 && len(b) == 0 {
+		return nil
+	}
+	out := make([]int, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if a[i] <= b[j] {
+			out = append(out, a[i])
+			i++
+		} else {
+			out = append(out, b[j])
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}

@@ -1,0 +1,101 @@
+package tree
+
+import (
+	"reflect"
+	"testing"
+
+	"parsimone/internal/score"
+	"parsimone/internal/wire"
+)
+
+// leaf builds a leaf whose stats are consistent with nVars variables over
+// its observations (each quantized cell contributing value 1).
+func leaf(obs ...int) *Node {
+	n := &Node{Obs: obs}
+	n.Stats = score.Stats{N: int64(len(obs)), Sum: int64(len(obs)), SumSq: int64(len(obs))}
+	return n
+}
+
+func internal(l, r *Node) *Node {
+	return &Node{
+		Obs:   mergeSorted(l.Obs, r.Obs),
+		Stats: addStats(l.Stats, r.Stats),
+		Left:  l,
+		Right: r,
+	}
+}
+
+func roundTrip(t *testing.T, tr *Tree) *Tree {
+	t.Helper()
+	e := wire.NewEncoder()
+	tr.EncodeWire(e)
+	d := wire.NewDecoder(e.Bytes())
+	got := DecodeWire(d)
+	if err := d.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+	return got
+}
+
+func TestTreeWireRoundTrip(t *testing.T) {
+	cases := map[string]*Tree{
+		"single leaf": {Vars: []int{2, 5}, Root: leaf(0, 1, 2)},
+		"two levels":  {Vars: []int{0}, Root: internal(leaf(0, 2), leaf(1, 3))},
+		"unbalanced": {Vars: []int{1, 4, 9}, Root: internal(
+			internal(leaf(0), internal(leaf(1, 5), leaf(2))), leaf(3, 4, 6, 7))},
+		"nil root": {Vars: []int{3}},
+	}
+	for name, tr := range cases {
+		t.Run(name, func(t *testing.T) {
+			got := roundTrip(t, tr)
+			if !reflect.DeepEqual(got, tr) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, tr)
+			}
+		})
+	}
+}
+
+// TestTreeWireNegativeStats: quantized sums are signed; the codec must not
+// assume non-negative statistics.
+func TestTreeWireNegativeStats(t *testing.T) {
+	n := &Node{Obs: []int{0, 4}, Stats: score.Stats{N: 2, Sum: -17, SumSq: 145}}
+	tr := &Tree{Vars: []int{0}, Root: n}
+	if got := roundTrip(t, tr); !reflect.DeepEqual(got, tr) {
+		t.Fatal("negative stats did not round-trip")
+	}
+}
+
+// TestTreeWireInternalElided: internal nodes carry no payload on the wire —
+// the encoding of a full tree is dominated by its leaves.
+func TestTreeWireInternalElided(t *testing.T) {
+	full := &Tree{Vars: []int{0}, Root: internal(internal(leaf(0), leaf(1)), internal(leaf(2), leaf(3)))}
+	leavesOnly := 0
+	for _, l := range full.Leaves() {
+		e := wire.NewEncoder()
+		encodeNode(e, l)
+		leavesOnly += len(e.Bytes())
+	}
+	e := wire.NewEncoder()
+	full.EncodeWire(e)
+	// Whole tree ≤ leaves + one tag byte per internal node + Vars list.
+	if overhead := len(e.Bytes()) - leavesOnly; overhead > 3+4 {
+		t.Fatalf("internal-node overhead %d bytes, want ≤ 7", overhead)
+	}
+}
+
+func TestTreeWireDepthLimit(t *testing.T) {
+	// A run of internal tags nesting past the recursion cap must fail, not
+	// overflow the stack.
+	e := wire.NewEncoder()
+	e.SortedInts([]int{0})
+	for i := 0; i < maxWireDepth+2; i++ {
+		e.Byte(nodeTagInternal)
+	}
+	d := wire.NewDecoder(e.Bytes())
+	if tr := DecodeWire(d); tr != nil || d.Err() == nil {
+		t.Fatalf("over-deep tree decoded: %v, err %v", tr, d.Err())
+	}
+}

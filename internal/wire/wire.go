@@ -1,0 +1,440 @@
+// Package wire implements the versioned binary on-disk format shared by
+// checkpoint files and serialized networks (DESIGN §12). At production scale
+// the JSON artifacts dominate recovery time and cache footprint; this format
+// packs the same data an order of magnitude tighter by exploiting its shape:
+// sorted index lists (module memberships, observation sets, ensembles)
+// delta-code to near-nothing, and the quantized integers the score layer
+// already works in (split thresholds, sufficient statistics) fit in one or
+// two varint bytes.
+//
+// A file is a self-describing header — magic, format version, kind, and the
+// run-configuration triple (seed, GaneshRuns, N) that checkpoint resume
+// validates — followed by length-prefixed sections. Readers dispatch on
+// section IDs and skip unknown ones by length, so later format revisions can
+// append sections without breaking older readers; the format version gates
+// incompatible changes with the same negotiation discipline as checkpoint v2
+// (reject with an error naming both versions, never guess).
+//
+// Encoding vocabulary (all integers little-endian base-128 varints):
+//
+//	uvarint    unsigned varint (encoding/binary Uvarint)
+//	varint     zigzag-signed varint (encoding/binary Varint)
+//	float64    IEEE-754 bits, 8 bytes little-endian (bit-exact round trip)
+//	string     uvarint byte length + raw bytes
+//	ints       uvarint count + one varint per element
+//	sortedInts uvarint count + varint first element + varint deltas
+//	uint64s    uvarint count + one uvarint per element (quantized weights)
+//
+// Decoding is hostile-input safe: every count is validated against the bytes
+// remaining (each element occupies ≥ 1 byte), so a corrupt or adversarial
+// length prefix cannot force a huge allocation, and errors are sticky — the
+// first failure poisons the Decoder and every later read returns zero values.
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Version is the wire-format version this package reads and writes. Files
+// carrying any other version are rejected up front (version negotiation as
+// in checkpoint v2); there is no cross-version migration.
+const Version = 1
+
+// magic identifies a wire-format file. The first byte is outside ASCII so a
+// wire file can never be confused with the JSON ('{') or XML ('<') formats
+// it replaces — readers auto-detect by prefix via IsWire.
+var magic = [4]byte{0xB7, 'P', 'M', 'W'}
+
+// Kind says what a wire file contains; readers reject a file of the wrong
+// kind rather than misinterpreting its sections.
+type Kind uint8
+
+const (
+	// KindEnsembles is the GaneSH task checkpoint (core ensembles.json's
+	// binary successor).
+	KindEnsembles Kind = 1
+	// KindModules is the consensus task checkpoint.
+	KindModules Kind = 2
+	// KindProgress is the per-module progress manifest.
+	KindProgress Kind = 3
+	// KindNetwork is a serialized result.Network.
+	KindNetwork Kind = 4
+)
+
+// String names the kind for error messages.
+func (k Kind) String() string {
+	switch k {
+	case KindEnsembles:
+		return "ensembles checkpoint"
+	case KindModules:
+		return "modules checkpoint"
+	case KindProgress:
+		return "progress manifest"
+	case KindNetwork:
+		return "network"
+	}
+	return fmt.Sprintf("kind %d", uint8(k))
+}
+
+// Header is the self-describing file header. Seed, GaneshRuns, and N carry
+// the run configuration checkpoint resume validates; network files set the
+// fields that do not apply to them to zero.
+type Header struct {
+	Kind       Kind
+	Seed       uint64
+	GaneshRuns int
+	N          int
+}
+
+// Section is one length-prefixed file section. IDs are scoped per Kind;
+// readers skip sections whose ID they do not know.
+type Section struct {
+	ID   uint64
+	Body []byte
+}
+
+// FindSection returns the body of the first section with the given ID.
+func FindSection(secs []Section, id uint64) ([]byte, bool) {
+	for _, s := range secs {
+		if s.ID == id {
+			return s.Body, true
+		}
+	}
+	return nil, false
+}
+
+// IsWire reports whether data starts with the wire magic — the format
+// auto-detection hook (a JSON checkpoint starts with '{', an XML network
+// with '<').
+func IsWire(data []byte) bool {
+	return len(data) >= len(magic) && bytes.Equal(data[:len(magic)], magic[:])
+}
+
+// EncodeFile assembles a complete wire file: magic, header, then the
+// sections in order.
+func EncodeFile(h Header, secs []Section) []byte {
+	e := NewEncoder()
+	e.buf = append(e.buf, magic[:]...)
+	e.Uvarint(Version)
+	e.Uvarint(uint64(h.Kind))
+	e.Uvarint(h.Seed)
+	e.Uvarint(uint64(h.GaneshRuns))
+	e.Uvarint(uint64(h.N))
+	for _, s := range secs {
+		e.Uvarint(s.ID)
+		e.Uvarint(uint64(len(s.Body)))
+		e.buf = append(e.buf, s.Body...)
+	}
+	return e.buf
+}
+
+// DecodeFile parses a wire file into its header and sections. The whole
+// input must be consumed by well-formed sections — trailing garbage is an
+// error, never silently ignored (a truncated rename or a concatenated pair
+// of files must fail fast, not resume from partial state).
+func DecodeFile(data []byte) (Header, []Section, error) {
+	if !IsWire(data) {
+		return Header{}, nil, fmt.Errorf("wire: bad magic (not a wire-format file)")
+	}
+	d := NewDecoder(data[len(magic):])
+	v := d.Uvarint()
+	if d.Err() == nil && v != Version {
+		return Header{}, nil, fmt.Errorf("wire: file is format v%d, this build expects v%d", v, Version)
+	}
+	var h Header
+	h.Kind = Kind(d.Uvarint())
+	h.Seed = d.Uvarint()
+	h.GaneshRuns = d.nonNegInt("ganeshRuns")
+	h.N = d.nonNegInt("n")
+	var secs []Section
+	for d.Err() == nil && d.Remaining() > 0 {
+		id := d.Uvarint()
+		n := d.Count(1)
+		secs = append(secs, Section{ID: id, Body: d.Raw(n)})
+	}
+	if err := d.Err(); err != nil {
+		return Header{}, nil, err
+	}
+	return h, secs, nil
+}
+
+// Encoder appends wire-encoded values to a growing buffer. The zero value
+// is ready to use.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an empty encoder.
+func NewEncoder() *Encoder { return &Encoder{} }
+
+// Bytes returns the encoded buffer.
+func (e *Encoder) Bytes() []byte { return e.buf }
+
+// Uvarint appends an unsigned varint.
+func (e *Encoder) Uvarint(x uint64) { e.buf = binary.AppendUvarint(e.buf, x) }
+
+// Varint appends a zigzag-signed varint.
+func (e *Encoder) Varint(x int64) { e.buf = binary.AppendVarint(e.buf, x) }
+
+// Int appends an int as a zigzag varint.
+func (e *Encoder) Int(x int) { e.Varint(int64(x)) }
+
+// Byte appends one raw byte.
+func (e *Encoder) Byte(b byte) { e.buf = append(e.buf, b) }
+
+// Float64 appends the IEEE-754 bits of f, 8 bytes little-endian. Fixed
+// width keeps the round trip bit-exact for every value including NaN
+// payloads, ±Inf, and negative zero.
+func (e *Encoder) Float64(f float64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, math.Float64bits(f))
+}
+
+// String appends a length-prefixed byte string.
+func (e *Encoder) String(s string) {
+	e.Uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Ints appends a counted list of varints.
+func (e *Encoder) Ints(xs []int) {
+	e.Uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		e.Varint(int64(x))
+	}
+}
+
+// SortedInts appends a counted, delta-coded integer list: the first element
+// verbatim, then successive differences. On the sorted non-negative index
+// lists this format exists for (module memberships, observation sets,
+// ensemble clusters) every delta is small and encodes in one byte; the
+// zigzag coding keeps arbitrary (even unsorted) input correct, merely less
+// compact.
+func (e *Encoder) SortedInts(xs []int) {
+	e.Uvarint(uint64(len(xs)))
+	prev := 0
+	for i, x := range xs {
+		if i == 0 {
+			e.Varint(int64(x))
+		} else {
+			e.Varint(int64(x) - int64(prev))
+		}
+		prev = x
+	}
+}
+
+// Uint64s appends a counted list of unsigned varints — the packed encoding
+// for quantized sampling weights, which score.QuantizeWeights already maps
+// onto [0, 2^20].
+func (e *Encoder) Uint64s(xs []uint64) {
+	e.Uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		e.Uvarint(x)
+	}
+}
+
+// Decoder reads wire-encoded values with a sticky error: after the first
+// failure every read returns zero values and Err reports the cause.
+type Decoder struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewDecoder wraps data for decoding.
+func NewDecoder(data []byte) *Decoder { return &Decoder{data: data} }
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error { return d.err }
+
+// Failf records a decode failure (the first one wins).
+func (d *Decoder) Failf(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("wire: "+format, args...)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (d *Decoder) Remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.data) - d.off
+}
+
+// Uvarint reads an unsigned varint.
+func (d *Decoder) Uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Uvarint(d.data[d.off:])
+	if n <= 0 {
+		d.Failf("truncated or overlong uvarint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+// Varint reads a zigzag-signed varint.
+func (d *Decoder) Varint() int64 {
+	if d.err != nil {
+		return 0
+	}
+	x, n := binary.Varint(d.data[d.off:])
+	if n <= 0 {
+		d.Failf("truncated or overlong varint at offset %d", d.off)
+		return 0
+	}
+	d.off += n
+	return x
+}
+
+// Int reads a zigzag varint and narrows it to int.
+func (d *Decoder) Int() int {
+	x := d.Varint()
+	if int64(int(x)) != x {
+		d.Failf("varint %d overflows int", x)
+		return 0
+	}
+	return int(x)
+}
+
+// nonNegInt reads a uvarint that must fit in a non-negative int.
+func (d *Decoder) nonNegInt(what string) int {
+	x := d.Uvarint()
+	if x > uint64(math.MaxInt) {
+		d.Failf("%s %d overflows int", what, x)
+		return 0
+	}
+	return int(x)
+}
+
+// Byte reads one raw byte.
+func (d *Decoder) Byte() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.data) {
+		d.Failf("unexpected end of input at offset %d", d.off)
+		return 0
+	}
+	b := d.data[d.off]
+	d.off++
+	return b
+}
+
+// Float64 reads 8 little-endian bytes as IEEE-754 float64 bits.
+func (d *Decoder) Float64() float64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.off+8 > len(d.data) {
+		d.Failf("truncated float64 at offset %d", d.off)
+		return 0
+	}
+	bits := binary.LittleEndian.Uint64(d.data[d.off:])
+	d.off += 8
+	return math.Float64frombits(bits)
+}
+
+// Raw consumes and returns the next n bytes (aliasing the input buffer).
+func (d *Decoder) Raw(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.off+n > len(d.data) {
+		d.Failf("truncated section: need %d bytes at offset %d, have %d", n, d.off, len(d.data)-d.off)
+		return nil
+	}
+	b := d.data[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Count reads an element count and validates it against the bytes
+// remaining, given that each element occupies at least elemSize bytes — the
+// guard that keeps corrupt length prefixes from forcing huge allocations.
+func (d *Decoder) Count(elemSize int) int {
+	if elemSize < 1 {
+		elemSize = 1
+	}
+	n := d.Uvarint()
+	if d.err != nil {
+		return 0
+	}
+	if n > uint64(d.Remaining()/elemSize) {
+		d.Failf("count %d exceeds the %d bytes remaining", n, d.Remaining())
+		return 0
+	}
+	return int(n)
+}
+
+// String reads a length-prefixed byte string.
+func (d *Decoder) String() string {
+	n := d.Count(1)
+	return string(d.Raw(n))
+}
+
+// Ints reads a counted varint list.
+func (d *Decoder) Ints() []int {
+	n := d.Count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]int, n)
+	for i := range xs {
+		xs[i] = d.Int()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return xs
+}
+
+// SortedInts reads a delta-coded list written by Encoder.SortedInts.
+func (d *Decoder) SortedInts() []int {
+	n := d.Count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]int, n)
+	prev := int64(0)
+	for i := range xs {
+		delta := d.Varint()
+		var v int64
+		if i == 0 {
+			v = delta
+		} else {
+			v = prev + delta
+		}
+		if int64(int(v)) != v {
+			d.Failf("delta-coded value %d overflows int", v)
+			return nil
+		}
+		xs[i] = int(v)
+		prev = v
+	}
+	if d.err != nil {
+		return nil
+	}
+	return xs
+}
+
+// Uint64s reads a counted uvarint list.
+func (d *Decoder) Uint64s() []uint64 {
+	n := d.Count(1)
+	if d.err != nil || n == 0 {
+		return nil
+	}
+	xs := make([]uint64, n)
+	for i := range xs {
+		xs[i] = d.Uvarint()
+	}
+	if d.err != nil {
+		return nil
+	}
+	return xs
+}

@@ -1,0 +1,238 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPrimitiveRoundTrip(t *testing.T) {
+	e := NewEncoder()
+	e.Uvarint(0)
+	e.Uvarint(math.MaxUint64)
+	e.Varint(0)
+	e.Varint(-1)
+	e.Varint(math.MinInt64)
+	e.Varint(math.MaxInt64)
+	e.Int(-42)
+	e.Byte(0xA5)
+	e.Float64(0)
+	e.Float64(math.Copysign(0, -1))
+	e.Float64(math.Inf(1))
+	e.Float64(math.NaN())
+	e.Float64(1.0 / 3.0)
+	e.String("")
+	e.String("gène-α\x00binary")
+
+	d := NewDecoder(e.Bytes())
+	if got := d.Uvarint(); got != 0 {
+		t.Errorf("uvarint 0 = %d", got)
+	}
+	if got := d.Uvarint(); got != math.MaxUint64 {
+		t.Errorf("uvarint max = %d", got)
+	}
+	for _, want := range []int64{0, -1, math.MinInt64, math.MaxInt64} {
+		if got := d.Varint(); got != want {
+			t.Errorf("varint %d = %d", want, got)
+		}
+	}
+	if got := d.Int(); got != -42 {
+		t.Errorf("int -42 = %d", got)
+	}
+	if got := d.Byte(); got != 0xA5 {
+		t.Errorf("byte = %x", got)
+	}
+	for _, want := range []float64{0, math.Copysign(0, -1), math.Inf(1), math.NaN(), 1.0 / 3.0} {
+		got := d.Float64()
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("float64 %v bits %x, want %x", want, math.Float64bits(got), math.Float64bits(want))
+		}
+	}
+	if got := d.String(); got != "" {
+		t.Errorf("empty string = %q", got)
+	}
+	if got := d.String(); got != "gène-α\x00binary" {
+		t.Errorf("string = %q", got)
+	}
+	if err := d.Err(); err != nil {
+		t.Fatalf("decode error: %v", err)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("%d bytes left over", d.Remaining())
+	}
+}
+
+func TestListRoundTrip(t *testing.T) {
+	lists := [][]int{
+		nil,
+		{0},
+		{5},
+		{-3, 0, 7},
+		{0, 1, 2, 3, 1000, 1001, 1 << 40},
+		{7, 3, 9, 1}, // unsorted: SortedInts must stay correct, just less compact
+	}
+	for _, xs := range lists {
+		e := NewEncoder()
+		e.SortedInts(xs)
+		e.Ints(xs)
+		d := NewDecoder(e.Bytes())
+		if got := d.SortedInts(); !equalInts(got, xs) {
+			t.Errorf("SortedInts(%v) round-tripped to %v", xs, got)
+		}
+		if got := d.Ints(); !equalInts(got, xs) {
+			t.Errorf("Ints(%v) round-tripped to %v", xs, got)
+		}
+		if err := d.Err(); err != nil {
+			t.Errorf("lists %v: %v", xs, err)
+		}
+	}
+	e := NewEncoder()
+	e.Uint64s([]uint64{0, 1, 1 << 20, math.MaxUint64})
+	d := NewDecoder(e.Bytes())
+	got := d.Uint64s()
+	if len(got) != 4 || got[3] != math.MaxUint64 || d.Err() != nil {
+		t.Errorf("Uint64s round trip = %v (%v)", got, d.Err())
+	}
+}
+
+// TestSortedIntsCompact pins the size win delta coding exists for: a dense
+// sorted index list costs ~1 byte per element.
+func TestSortedIntsCompact(t *testing.T) {
+	xs := make([]int, 1000)
+	for i := range xs {
+		xs[i] = 100000 + 3*i
+	}
+	e := NewEncoder()
+	e.SortedInts(xs)
+	if n := len(e.Bytes()); n > 1010 {
+		t.Fatalf("1000 dense sorted ints encoded to %d bytes, want ≈1 byte each", n)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	h := Header{Kind: KindProgress, Seed: 0xDEADBEEF, GaneshRuns: 7, N: 1234}
+	secs := []Section{
+		{ID: 1, Body: []byte("alpha")},
+		{ID: 9, Body: nil},
+		{ID: 2, Body: bytes.Repeat([]byte{0xFF}, 300)},
+	}
+	data := EncodeFile(h, secs)
+	if !IsWire(data) {
+		t.Fatal("encoded file fails IsWire")
+	}
+	gh, gs, err := DecodeFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h {
+		t.Fatalf("header %+v, want %+v", gh, h)
+	}
+	if len(gs) != len(secs) {
+		t.Fatalf("%d sections, want %d", len(gs), len(secs))
+	}
+	for i := range secs {
+		if gs[i].ID != secs[i].ID || !bytes.Equal(gs[i].Body, secs[i].Body) {
+			t.Errorf("section %d mismatch", i)
+		}
+	}
+	if body, ok := FindSection(gs, 2); !ok || len(body) != 300 {
+		t.Errorf("FindSection(2) = %d bytes, %v", len(body), ok)
+	}
+	if _, ok := FindSection(gs, 99); ok {
+		t.Error("FindSection found a section that does not exist")
+	}
+}
+
+func TestDecodeFileRejects(t *testing.T) {
+	good := EncodeFile(Header{Kind: KindNetwork, N: 3}, []Section{{ID: 1, Body: []byte{1, 2, 3}}})
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "bad magic"},
+		{"json", []byte(`{"version":2}`), "bad magic"},
+		{"magic only", magic[:], "uvarint"},
+		{"truncated header", good[:5], "uvarint"},
+		{"truncated section body", good[:len(good)-2], "exceeds"},
+		{"trailing garbage", append(append([]byte{}, good...), 0x80), "uvarint"},
+		{"oversized section length", append(append([]byte{}, good...), 5, 127), "count 127 exceeds"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := DecodeFile(tc.data)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("got %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestVersionNegotiation: a file from a future format version is rejected
+// with an error naming both versions, before any section is touched.
+func TestVersionNegotiation(t *testing.T) {
+	data := EncodeFile(Header{Kind: KindNetwork}, nil)
+	// The version uvarint is the byte right after the magic (Version < 128).
+	data[len(magic)] = Version + 1
+	_, _, err := DecodeFile(data)
+	if err == nil || !strings.Contains(err.Error(), "format v2, this build expects v1") {
+		t.Fatalf("got %v, want a version-mismatch rejection naming v2 and v1", err)
+	}
+}
+
+// TestUnknownSectionsSkipped: a reader dispatching on known section IDs is
+// oblivious to appended sections — the forward-compatibility contract.
+func TestUnknownSectionsSkipped(t *testing.T) {
+	data := EncodeFile(Header{Kind: KindModules, N: 5}, []Section{
+		{ID: 1, Body: []byte("payload")},
+		{ID: 7777, Body: []byte("from the future")},
+	})
+	_, secs, err := DecodeFile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body, ok := FindSection(secs, 1); !ok || string(body) != "payload" {
+		t.Fatalf("known section not found: %q %v", body, ok)
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{0x80}) // truncated uvarint
+	_ = d.Uvarint()
+	if d.Err() == nil {
+		t.Fatal("no error from truncated uvarint")
+	}
+	first := d.Err()
+	// Every later read is a zero value and must not disturb the first error.
+	if d.Uvarint() != 0 || d.Varint() != 0 || d.Byte() != 0 || d.Float64() != 0 ||
+		d.String() != "" || d.SortedInts() != nil || d.Remaining() != 0 {
+		t.Error("poisoned decoder returned non-zero values")
+	}
+	if d.Err() != first {
+		t.Error("sticky error was replaced")
+	}
+}
+
+// TestCountGuard: a length prefix claiming more elements than bytes remain
+// fails instead of allocating.
+func TestCountGuard(t *testing.T) {
+	e := NewEncoder()
+	e.Uvarint(1 << 40) // a count with no data behind it
+	d := NewDecoder(e.Bytes())
+	if xs := d.SortedInts(); xs != nil || d.Err() == nil {
+		t.Fatalf("huge count decoded to %v, err %v", xs, d.Err())
+	}
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
