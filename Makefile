@@ -2,12 +2,16 @@
 # determinism lint, build, tests (shuffled so order dependence surfaces), a
 # race-detector pass over the concurrency-bearing packages (the goroutine
 # message-passing runtime, the split-scoring paths, the intra-rank worker
-# pool, the observability sinks, and the core/GaneSH engines above them),
-# and the fault-injection suite under the race detector.
+# pool, the observability sinks, the core/GaneSH engines above them, and the
+# supervised job runtime), and the fault-injection suite under the race
+# detector.
 
 GO ?= go
 
-.PHONY: tier1 fmt vet lint build test race faults fuzz fuzz-score fuzz-wire bench
+# Iterations of the seeded cancel/fault chaos soak (`make soak`).
+SOAK_ITERS ?= 25
+
+.PHONY: tier1 fmt vet lint build test race faults soak fuzz fuzz-score fuzz-wire bench
 
 tier1: fmt vet lint build test race faults
 
@@ -35,14 +39,23 @@ test:
 
 race:
 	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/ ./internal/obs/ \
-		./internal/core/ ./internal/ganesh/ ./internal/wire/
+		./internal/core/ ./internal/ganesh/ ./internal/wire/ ./internal/jobs/
 
-# The fault-injection and crash-recovery suite, race-enabled: injected
-# crashes/delays/drops in comm, the dynamic-coordinator watchdog, and the
-# supervised restart-from-checkpoint acceptance tests.
+# The fault-injection, crash-recovery, and cancellation suite, race-enabled:
+# injected crashes/delays/drops in comm, the dynamic-coordinator watchdog,
+# the supervised restart-from-checkpoint acceptance tests, the
+# cancel-at-every-check matrix, and the job runtime's drain-under-fault
+# races.
 faults:
-	$(GO) test -race -run 'Fault|Recovery|Abort|Timeout|Failpoint|Restart|Checkpoint' \
-		./internal/comm/ ./internal/splits/ ./internal/core/
+	$(GO) test -race -run 'Fault|Recovery|Abort|Timeout|Failpoint|Restart|Checkpoint|Cancel|Drain|Deadline' \
+		./internal/comm/ ./internal/splits/ ./internal/core/ ./internal/jobs/
+
+# Seeded chaos soak: the deterministic MRG3-driven matrix of (world size,
+# checkpoint format, cancel point, injected comm crash) combinations, each
+# required to land on the bit-identical network directly or after a resume.
+# Scale with SOAK_ITERS; the same seed replays the same plan sequence.
+soak:
+	PARSIMONE_SOAK_ITERS=$(SOAK_ITERS) $(GO) test -race -run 'TestSoakCancelFaultChaos' -v ./internal/core/
 
 # Short native-fuzzing pass over the TSV loader (the long-running campaign
 # is `go test -fuzz=FuzzReadTSV ./internal/dataset/` without -fuzztime),

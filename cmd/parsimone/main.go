@@ -12,13 +12,17 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 
 	"parsimone/internal/core"
 	"parsimone/internal/dataset"
@@ -88,14 +92,37 @@ func verifyNetworkFile(path, format string, want *result.Network) error {
 }
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	// SIGINT/SIGTERM drain the run cooperatively: every rank stops at its
+	// next deterministic cancellation check, the durable checkpoints are the
+	// resume state, and the process exits with the cancellation exit code.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "parsimone:", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// exitCode distinguishes a cooperative drain (deadline or signal; the
+// *CancelledError already names the checkpoint directory the run drained
+// to) from an ordinary failure.
+func exitCode(err error) int {
+	var ce *core.CancelledError
+	if errors.As(err, &ce) {
+		return 3
+	}
+	return 1
 }
 
 // run executes the CLI with its own flag set so it is testable.
 func run(args []string, stdout io.Writer) error {
+	return runCtx(context.Background(), args, stdout)
+}
+
+// runCtx is run under a caller-supplied lifetime context (the signal
+// context in main): when it fires — or when -timeout expires — the run
+// drains to its checkpoints and returns a *core.CancelledError.
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("parsimone", flag.ContinueOnError)
 	var (
 		in         = fs.String("in", "", "input TSV expression matrix (required)")
@@ -114,6 +141,7 @@ func run(args []string, stdout io.Writer) error {
 		ckptDir    = fs.String("checkpoint", "", "checkpoint directory: task outputs and per-module progress are persisted there, and a rerun with the same data, seed, and options resumes from whatever checkpoints exist, learning the identical network; stale checkpoints from other configurations are rejected")
 		ckptFormat = fs.String("checkpoint-format", "json", "checkpoint file format: json (v2) or binary (v3, several times smaller); reads auto-detect, so either setting resumes a directory written by the other")
 		restarts   = fs.Int("max-restarts", 0, "with -p > 1: restart the world up to this many times after a rank failure, resuming from -checkpoint if set")
+		timeout    = fs.Duration("timeout", 0, "cancel the run after this long (0 = none): it drains cleanly to -checkpoint, exits with code 3, and a rerun with the same flags resumes to the identical network; SIGINT/SIGTERM drain the same way")
 		regulators = fs.String("regulators", "", "comma-separated candidate regulator names (default: all variables)")
 		subN       = fs.Int("n", 0, "use only the first n variables (0 = all)")
 		subM       = fs.Int("m", 0, "use only the first m observations (0 = all)")
@@ -139,6 +167,9 @@ func run(args []string, stdout io.Writer) error {
 	}
 	if *restarts < 0 {
 		return fmt.Errorf("-max-restarts must be ≥ 0, got %d", *restarts)
+	}
+	if *timeout < 0 {
+		return fmt.Errorf("-timeout must be ≥ 0, got %v", *timeout)
 	}
 	if *ckptDir != "" {
 		if fi, err := os.Stat(*ckptDir); err == nil && !fi.IsDir() {
@@ -224,6 +255,12 @@ func run(args []string, stdout io.Writer) error {
 	if *metricsOut != "" {
 		opt.Metrics = obs.NewRegistry()
 	}
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	opt.Ctx = ctx
 
 	if *pprofCPU != "" {
 		f, err := os.Create(*pprofCPU)

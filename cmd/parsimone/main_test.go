@@ -2,12 +2,15 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"parsimone/internal/core"
 	"parsimone/internal/obs"
 	"parsimone/internal/result"
 	"parsimone/internal/synth"
@@ -478,5 +481,92 @@ func TestRunThreadsIdentical(t *testing.T) {
 		if !result.Equal(net, nets["w1.xml"]) {
 			t.Fatalf("%s differs from single-worker run", name)
 		}
+	}
+}
+
+// TestRunTimeoutDrainsAndResumes: -timeout cancels the run cleanly — the
+// error is a *core.CancelledError carrying core.ErrDeadline and naming the
+// checkpoint directory, the exit code is the distinct cancellation code 3,
+// and a rerun without the timeout resumes to the identical network.
+func TestRunTimeoutDrainsAndResumes(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	ckpt := filepath.Join(dir, "ckpt")
+	out := filepath.Join(dir, "net.xml")
+	// A 1 ns timeout has certainly expired by the first cancellation check.
+	err := run([]string{"-in", in, "-out", out, "-quiet",
+		"-checkpoint", ckpt, "-timeout", "1ns"}, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("run with an expired -timeout returned no error")
+	}
+	var ce *core.CancelledError
+	if !errors.As(err, &ce) || !errors.Is(err, core.ErrDeadline) {
+		t.Fatalf("got %v, want a *CancelledError wrapping ErrDeadline", err)
+	}
+	if ce.CheckpointDir != ckpt {
+		t.Fatalf("CancelledError names %q, want the -checkpoint dir %q", ce.CheckpointDir, ckpt)
+	}
+	if !strings.Contains(err.Error(), ckpt) {
+		t.Fatalf("error %q does not print the checkpoint path", err)
+	}
+	if exitCode(err) != 3 {
+		t.Fatalf("exit code %d, want the cancellation code 3", exitCode(err))
+	}
+	if _, err := os.Stat(out); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("cancelled run still wrote the output network")
+	}
+	// Reference network: a clean run without checkpointing.
+	ref := filepath.Join(dir, "ref.xml")
+	if err := run([]string{"-in", in, "-out", ref, "-quiet"}, new(bytes.Buffer)); err != nil {
+		t.Fatal(err)
+	}
+	// Resume over the drained directory.
+	if err := run([]string{"-in", in, "-out", out, "-quiet", "-checkpoint", ckpt}, new(bytes.Buffer)); err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	read := func(path string) *result.Network {
+		f, err := os.Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer f.Close()
+		n, err := result.ReadXML(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	if !result.Equal(read(out), read(ref)) {
+		t.Fatal("resumed network differs from the uninterrupted run")
+	}
+}
+
+// TestRunSignalContextDrains: a fired lifetime context (the SIGINT/SIGTERM
+// path through runCtx) drains exactly like -timeout, as ErrCancelled.
+func TestRunSignalContextDrains(t *testing.T) {
+	in := writeData(t)
+	dir := t.TempDir()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // the signal has already arrived
+	err := runCtx(ctx, []string{"-in", in, "-out", filepath.Join(dir, "net.xml"), "-quiet",
+		"-checkpoint", filepath.Join(dir, "ckpt")}, new(bytes.Buffer))
+	if !errors.Is(err, core.ErrCancelled) {
+		t.Fatalf("got %v, want ErrCancelled", err)
+	}
+	if exitCode(err) != 3 {
+		t.Fatalf("exit code %d, want 3", exitCode(err))
+	}
+}
+
+// TestRunTimeoutValidation: a negative -timeout is rejected up front, and an
+// ordinary failure keeps exit code 1.
+func TestRunTimeoutValidation(t *testing.T) {
+	in := writeData(t)
+	err := run([]string{"-in", in, "-timeout", "-1s"}, new(bytes.Buffer))
+	if err == nil {
+		t.Fatal("negative -timeout accepted")
+	}
+	if exitCode(err) != 1 {
+		t.Fatalf("validation failure got exit code %d, want 1", exitCode(err))
 	}
 }

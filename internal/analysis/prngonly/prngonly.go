@@ -6,7 +6,9 @@
 // schedule. The obs, trace, and bench packages are exempt — their
 // timestamps never feed learned-network state — as are test files, which
 // the parsivet driver does not load at all. Audited wallclock reads in
-// timing harnesses (cmd/benchtab, examples) carry //parsivet:wallclock.
+// timing harnesses (cmd/benchtab, examples) and in the supervised job
+// runtime's budget/report timing (internal/jobs) carry
+// //parsivet:wallclock.
 package prngonly
 
 import (

@@ -19,3 +19,8 @@ func TestExemptPackage(t *testing.T) { analysistest.Run(t, prngonly.Analyzer, "o
 // TestWirePackage proves the serialization codecs are not exempt: encoded
 // bytes must be a pure function of the encoded values.
 func TestWirePackage(t *testing.T) { analysistest.Run(t, prngonly.Analyzer, "wire") }
+
+// TestJobsPackage proves the supervised job runtime is not exempt either:
+// its budget/report timing must carry audited //parsivet:wallclock
+// annotations, while timers and sleeps (deterministic backoff) pass freely.
+func TestJobsPackage(t *testing.T) { analysistest.Run(t, prngonly.Analyzer, "jobs") }

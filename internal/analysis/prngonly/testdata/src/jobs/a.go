@@ -1,0 +1,35 @@
+// Supervisor-runtime cases: a package named jobs is NOT wallclock-exempt —
+// its budget/backoff/report timing must carry audited //parsivet:wallclock
+// annotations, and stochastic scheduling decisions stay banned outright.
+package jobs
+
+import (
+	"time"
+)
+
+type job struct {
+	started time.Time
+	dur     time.Duration
+}
+
+func admit(j *job) {
+	j.started = time.Now() // want "wallclock read"
+}
+
+func admitAudited(j *job) {
+	j.started = time.Now() //parsivet:wallclock — report duration only, never feeds learned-network state
+}
+
+func finish(j *job) {
+	j.dur = time.Since(j.started) // want "wallclock read"
+}
+
+func finishAudited(j *job) {
+	j.dur = time.Since(j.started) //parsivet:wallclock — report duration only, never feeds learned-network state
+}
+
+// Deterministic backoff needs no wallclock read: timers and sleeps are
+// allowed, only observing the clock is not.
+func backoff(base time.Duration, attempt int) {
+	time.Sleep(base << attempt)
+}

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"sort"
 
+	"parsimone/internal/comm"
 	"parsimone/internal/matrix"
 	"parsimone/internal/obs"
 )
@@ -56,6 +57,11 @@ type Params struct {
 	// task is replicated identically on every rank, so a single source
 	// keeps the merged event stream free of p-fold duplicates.
 	Hooks *obs.Hooks
+	// Cancel is the run's cooperative cancellation signal, polled once per
+	// peeling round. Unlike Hooks it is attached on every rank — the task
+	// is replicated, and each rank polls its own per-rank Canceler at the
+	// same deterministic point, so no collective is reordered (DESIGN §13).
+	Cancel *comm.Canceler
 }
 
 func (p Params) withDefaults() Params {
@@ -102,6 +108,7 @@ func Cluster(n int, a []float64, par Params) ([][]int, error) {
 	}
 	var clusters [][]int
 	for len(remaining) >= par.MinClusterSize {
+		par.Cancel.Check()
 		sub := sym.Submatrix(remaining)
 		res := matrix.PowerIteration(sub, par.MaxIter, par.Tol)
 		if !res.Converged {

@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strconv"
@@ -112,6 +113,16 @@ type Options struct {
 	// imbalance). The registry is concurrency-safe and shared by all ranks
 	// of an in-process world. Like Events, result-invisible.
 	Metrics *obs.Registry
+	// Ctx, when non-nil, threads cooperative cancellation and deadline
+	// propagation through the run: every rank polls the context at its
+	// deterministic iteration boundaries (GaneSH update steps, consensus
+	// peeling rounds, module-unit edges, task boundaries — DESIGN §13).
+	// Checks never consume PRNG draws or reorder collectives, so an
+	// unfired context is result-invisible; when it fires, the run drains
+	// to its durable checkpoints and the driver returns a *CancelledError
+	// wrapping ErrCancelled (context cancelled) or ErrDeadline (deadline
+	// exceeded). A nil Ctx never cancels.
+	Ctx context.Context
 }
 
 // FaultSpec describes a deterministic failure to inject. Comm faults
@@ -125,6 +136,13 @@ type FaultSpec struct {
 	Comm []comm.Fault
 	Task string
 	Rank int
+	// CancelAt, when > 0, fires the run's cancellation signal when rank
+	// Rank reaches its CancelAt-th cancellation check (1-based) — the
+	// cancel analog of comm.Fault's op addressing, used by the
+	// cancel-at-every-failpoint matrix. Checks happen at deterministic
+	// program points, so (Rank, CancelAt) is a reproducible address.
+	// Mutually exclusive with Task.
+	CancelAt int64
 }
 
 // parseFailpoint splits a FaultSpec.Task into a boundary name ("" when
@@ -183,6 +201,11 @@ type Output struct {
 	// Recovery lists the supervised restarts the run survived (empty for
 	// an uninterrupted run; LearnParallel only).
 	Recovery []trace.RecoveryEvent
+	// CancelChecks counts the cancellation checks this rank polled — the
+	// probe a cancel matrix uses to enumerate every cancellation point of
+	// a clean run. Identical on every rank and for every p: checks happen
+	// only at replicated program points.
+	CancelChecks int64
 	// Events is the merged structured event stream (Options.Events; on
 	// rank 0 / the sequential engine only — other ranks return nil).
 	Events []obs.Event
@@ -214,6 +237,12 @@ func (o Options) validate() error {
 		if o.Inject.Rank < 0 {
 			return fmt.Errorf("core: Inject.Rank %d must be ≥ 0", o.Inject.Rank)
 		}
+		if o.Inject.CancelAt < 0 {
+			return fmt.Errorf("core: Inject.CancelAt %d must be ≥ 0", o.Inject.CancelAt)
+		}
+		if o.Inject.CancelAt > 0 && o.Inject.Task != "" {
+			return fmt.Errorf("core: Inject.CancelAt and Inject.Task are mutually exclusive")
+		}
 	}
 	return nil
 }
@@ -233,6 +262,18 @@ func (o Options) withHooks(h *obs.Hooks, root bool) Options {
 	if root {
 		o.Consensus.Hooks = h
 	}
+	return o
+}
+
+// withCancel threads this rank's cancellation signal into every task's
+// params. Unlike withHooks there is no root gating: each rank polls its own
+// Canceler at the same replicated program points, so check counts stay
+// rank-identical and no collective is reordered.
+func (o Options) withCancel(cl *comm.Canceler) Options {
+	o.Ganesh.Cancel = cl
+	o.Module.Tree.Cancel = cl
+	o.Module.Splits.Cancel = cl
+	o.Consensus.Cancel = cl
 	return o
 }
 
@@ -293,6 +334,10 @@ type pipeline struct {
 	// the world size, for run.start/run.end events.
 	hooks *obs.Hooks
 	ranks int
+	// cancel is this rank's cancellation signal, polled at the task
+	// boundaries and module-unit edges of run() (and, through the params
+	// threaded by withCancel, inside the tasks themselves).
+	cancel *comm.Canceler
 }
 
 // failpointFn returns the task-boundary crash hook for this rank: a no-op
@@ -365,8 +410,16 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 	var ensembles [][][]int
 	var resumedModules [][]int
 	haveModules := false
+	prim.cancel.Check()
 	if opt.CheckpointDir != "" {
 		var err error
+		if prim.writesCheckpoints {
+			// Resume entry: clear any orphaned temp files an interrupted
+			// atomic rename left behind before touching the directory.
+			if err = sweepTempCheckpoints(opt.CheckpointDir); err != nil {
+				return nil, err
+			}
+		}
 		if resumedModules, haveModules, err = loadModules(opt.CheckpointDir, opt, q.N); err != nil {
 			return nil, err
 		}
@@ -393,6 +446,9 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 	} else {
 		taskEvent(obs.TypeTaskResume, TaskGaneSH)
 	}
+	// Task-boundary cancellation point: the GaneSH checkpoint (when
+	// enabled) is durable by now, so a cancel here resumes from it.
+	prim.cancel.Check()
 
 	// Task 2: consensus clustering, sequential as in the paper (<0.04 %
 	// of run time), replicated on every rank in the parallel engine.
@@ -420,6 +476,7 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 		taskEvent(obs.TypeTaskEnd, TaskConsensus)
 		failpoint(TaskConsensus, -1)
 	}
+	prim.cancel.Check()
 
 	// Task 3: module learning on its own substream, one numbered
 	// sub-substream per module, checkpointed module-by-module so a crash
@@ -430,6 +487,11 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 				Index: mi, Vars: len(moduleVars[mi]),
 			}})
 			failpoint("module", mi)
+			// Module-unit cancellation edge: everything before module mi
+			// is durably checkpointed (when enabled), and unit mi has not
+			// drawn from its substream yet, so a cancel here loses no
+			// completed work and a resume recomputes mi bit-identically.
+			prim.cancel.Check()
 		},
 	}
 	var saveUnit func(u *module.Unit) error
@@ -502,8 +564,10 @@ func run(d *dataset.Data, q *score.QData, opt Options, prim pipeline, timers *tr
 	return &Output{Network: net, Modules: modRes.Modules, Splits: modRes.Splits, Timers: timers}, nil
 }
 
-// Learn runs the full pipeline sequentially.
-func Learn(d *dataset.Data, opt Options) (*Output, error) {
+// Learn runs the full pipeline sequentially. A cancelled Options.Ctx
+// surfaces as a *CancelledError; the checkpoints written so far (when
+// Options.CheckpointDir is set) resume bit-identically.
+func Learn(d *dataset.Data, opt Options) (out *Output, err error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
@@ -525,8 +589,13 @@ func Learn(d *dataset.Data, opt Options) (*Output, error) {
 	}
 	hooks := obs.NewHooks(rec, opt.Metrics)
 	opt = opt.withHooks(hooks, true)
+	cl := newCanceler(opt, 0)
+	opt = opt.withCancel(cl)
+	// The sequential engine has no comm world to recover a cancellation
+	// panic; convert it into the documented error return here.
+	defer catchCancel(opt, &out, &err)
 	timers := trace.NewTimers()
-	out, err := run(d, q, opt, pipeline{
+	out, err = run(d, q, opt, pipeline{
 		ganeshEnsembles: func(opt Options, master *prng.MRG3) [][][]int {
 			ensembles := make([][][]int, opt.GaneshRuns)
 			for r := 0; r < opt.GaneshRuns; r++ {
@@ -541,11 +610,13 @@ func Learn(d *dataset.Data, opt Options) (*Output, error) {
 		writesCheckpoints: true,
 		hooks:             hooks,
 		ranks:             1,
+		cancel:            cl,
 	}, timers)
 	if err != nil {
 		return nil, err
 	}
 	out.Workload = wl
+	out.CancelChecks = cl.Checks()
 	if rec != nil {
 		out.Events = rec.Events()
 	}
@@ -553,7 +624,11 @@ func Learn(d *dataset.Data, opt Options) (*Output, error) {
 }
 
 // LearnWithComm runs the full pipeline on an existing communicator; every
-// rank returns an identical network.
+// rank returns an identical network. When Options.Ctx fires, the first rank
+// to poll it panics with an ErrCancelled/ErrDeadline-wrapped error, tearing
+// the world down through the usual abort path — callers driving their own
+// comm.Run see it as a RankError; LearnParallel distills it into a
+// *CancelledError.
 func LearnWithComm(c *comm.Comm, d *dataset.Data, opt Options) (*Output, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
@@ -572,6 +647,8 @@ func LearnWithComm(c *comm.Comm, d *dataset.Data, opt Options) (*Output, error) 
 	}
 	hooks := obs.NewHooks(rec, opt.Metrics)
 	opt = opt.withHooks(hooks, c.Rank() == 0)
+	cl := newCanceler(opt, c.Rank())
+	opt = opt.withCancel(cl)
 	timers := trace.NewTimers()
 	out, err := run(d, q, opt, pipeline{
 		ganeshEnsembles: func(opt Options, master *prng.MRG3) [][][]int {
@@ -584,11 +661,13 @@ func LearnWithComm(c *comm.Comm, d *dataset.Data, opt Options) (*Output, error) 
 		rank:              c.Rank(),
 		hooks:             hooks,
 		ranks:             c.Size(),
+		cancel:            cl,
 	}, timers)
 	if err != nil {
 		return nil, err
 	}
 	out.CommStats = c.Stats()
+	out.CancelChecks = cl.Checks()
 	// Snapshot per-rank traffic before the event gather adds its own.
 	hooks.CommStats(c.Rank(), out.CommStats)
 	if rec != nil {
@@ -664,6 +743,10 @@ func parallelEnsembles(c *comm.Comm, q *score.QData, opt Options, master *prng.M
 // the newest checkpoints in Options.CheckpointDir (or from scratch without
 // checkpointing). Determinism (DESIGN §6) makes the recovered network
 // bit-identical to an uninterrupted run's.
+//
+// Cancellation (Options.Ctx) is not a failure: a cancelled world is never
+// restarted, no restart budget is consumed, and the driver returns a
+// *CancelledError naming the durable checkpoints the run drained to.
 func LearnParallel(p int, d *dataset.Data, opt Options) (*Output, error) {
 	attempt := opt
 	var recovery []trace.RecoveryEvent
@@ -682,6 +765,9 @@ func LearnParallel(p int, d *dataset.Data, opt Options) (*Output, error) {
 			return nil
 		})
 		if err != nil {
+			if isCancel(err) {
+				return nil, cancelledError(err, opt)
+			}
 			var re *comm.RankError
 			if len(recovery) >= opt.MaxRestarts || !errors.As(err, &re) {
 				return nil, err

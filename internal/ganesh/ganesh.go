@@ -45,6 +45,11 @@ type Params struct {
 	// (per-phase cost/item/decision counters) and never emits per-decision
 	// events; nil disables. Result-invisible, as everywhere.
 	Hooks *obs.Hooks
+	// Cancel is the run's cooperative cancellation signal, polled once per
+	// update step — before any PRNG draw of the step, so a check never
+	// perturbs the substream schedule. Firing panics through the rank's
+	// abort path; nil disables (DESIGN §13).
+	Cancel *comm.Canceler
 }
 
 func (p Params) withDefaults(n, m int) Params {
@@ -322,6 +327,7 @@ func (e *engine) run(par Params) *cluster.CoClustering {
 	cc := cluster.NewRandomCoClustering(e.q, e.prior, par.InitVarClusters, par.InitObsClusters, e.g)
 	cc.UseKernel(e.kern)
 	for u := 0; u < par.Updates; u++ {
+		par.Cancel.Check()
 		e.reassignVars(cc)
 		e.mergeVars(cc)
 		for vi := 0; vi < len(cc.Clusters); vi++ {
@@ -359,6 +365,8 @@ type ObsParams struct {
 	Workers int
 	// Hooks as in Params (metrics only).
 	Hooks *obs.Hooks
+	// Cancel as in Params, polled once per update step.
+	Cancel *comm.Canceler
 }
 
 func (p ObsParams) withDefaults(m int) ObsParams {
@@ -395,6 +403,7 @@ func sampleObs(e *engine, vars []int, par ObsParams) ([][][]int, *cluster.ObsClu
 	oc.UseKernel(e.kern)
 	var samples [][][]int
 	for u := 1; u <= par.Updates; u++ {
+		par.Cancel.Check()
 		e.reassignObs(oc)
 		e.mergeObs(oc)
 		if u > par.Burnin {

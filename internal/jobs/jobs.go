@@ -1,0 +1,526 @@
+// Package jobs is the supervised job runtime above core.LearnParallel: a
+// deterministic-scheduling queue that admits learning runs against a shared
+// capacity pool, enforces per-job budgets (deadline, restart count,
+// checkpoint directory), retries failed worlds with jitter-free exponential
+// backoff, and drains gracefully on demand — stop admitting, cancel running
+// jobs through their contexts, and report the durable checkpoints each job
+// left behind (DESIGN §13).
+//
+// Scheduling is strictly FIFO with head-of-line blocking: job i+1 is never
+// admitted before job i, so the admission order is a pure function of the
+// submission order — never of goroutine timing. Capacity is accounted in
+// p×W slots (ranks × intra-rank workers), mirroring how the engine actually
+// occupies cores. The runtime itself never perturbs determinism: each job's
+// learned network is still a pure function of its (data, seed, options),
+// whatever the runner interleaves.
+//
+// The package is supervisor-side code — it reads the wallclock for budget
+// deadlines, backoff, and report durations, none of which feed
+// learned-network state. Every read is audited with //parsivet:wallclock.
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"parsimone/internal/core"
+	"parsimone/internal/dataset"
+	"parsimone/internal/obs"
+)
+
+// State is a job's lifecycle position.
+type State int
+
+const (
+	// StateQueued: submitted, waiting for admission.
+	StateQueued State = iota
+	// StateRunning: admitted and executing (includes runner-level retries).
+	StateRunning
+	// StateDone: completed with a learned network.
+	StateDone
+	// StateFailed: exhausted its restart budget, or failed queued during a
+	// drain.
+	StateFailed
+	// StateCancelled: stopped by its deadline or by a drain; its checkpoint
+	// directory (if any) resumes bit-identically.
+	StateCancelled
+)
+
+// String names the state for reports and logs.
+func (s State) String() string {
+	switch s {
+	case StateQueued:
+		return "queued"
+	case StateRunning:
+		return "running"
+	case StateDone:
+		return "done"
+	case StateFailed:
+		return "failed"
+	case StateCancelled:
+		return "cancelled"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ErrDrained fails jobs still queued when Drain is called: they never ran,
+// so they have no checkpoint state.
+var ErrDrained = errors.New("jobs: drained before admission")
+
+// ErrClosed rejects submissions to a runner that is draining or closed.
+var ErrClosed = errors.New("jobs: runner is closed to new submissions")
+
+// Spec describes the learning run a job performs.
+type Spec struct {
+	// Name labels the job in events and reports.
+	Name string
+	// Ranks is p, the world size core.LearnParallel spins up (0 → 1).
+	Ranks int
+	// Data is the expression matrix to learn from.
+	Data *dataset.Data
+	// Options configures the run. The runner overrides Ctx, CheckpointDir,
+	// BinaryCheckpoints, MaxRestarts, and Inject-after-first-attempt from
+	// the job's Budget — restarts are runner-owned, so Options.MaxRestarts
+	// is ignored.
+	Options core.Options
+}
+
+// need is the job's p×W slot demand against the runner's capacity pool.
+func (s Spec) need() int {
+	return max(1, s.Ranks) * max(1, s.Options.Workers)
+}
+
+// Budget bounds one job's resource consumption.
+type Budget struct {
+	// Deadline, when > 0, cancels the job that long after it starts
+	// running (queue wait does not count). A job stopped by its deadline
+	// ends StateCancelled with an error wrapping core.ErrDeadline, and its
+	// checkpoint directory resumes bit-identically.
+	Deadline time.Duration
+	// MaxRestarts is how many times the runner restarts the job's world
+	// after a failure before declaring it failed. Restarts resume from
+	// CheckpointDir and back off exponentially (jitter-free, base
+	// Config.RetryBase).
+	MaxRestarts int
+	// CheckpointDir, when set, is where the job persists and resumes its
+	// task checkpoints — the durable state a deadline, drain, or crash
+	// leaves behind.
+	CheckpointDir string
+	// BinaryCheckpoints selects the v3 binary checkpoint wire format.
+	BinaryCheckpoints bool
+}
+
+// Report summarizes one job after the runner finished with it.
+type Report struct {
+	ID       int
+	Name     string
+	State    State
+	Restarts int
+	// Checkpoint is the job's checkpoint directory when it holds durable
+	// resume state, "" otherwise.
+	Checkpoint string
+	// Duration is the job's wall-clock running time (zero if never
+	// admitted).
+	Duration time.Duration
+	Err      error
+}
+
+// String renders the report as one log line.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "job %d", r.ID)
+	if r.Name != "" {
+		fmt.Fprintf(&b, " (%s)", r.Name)
+	}
+	fmt.Fprintf(&b, ": %s", r.State)
+	if r.Restarts > 0 {
+		fmt.Fprintf(&b, ", %d restarts", r.Restarts)
+	}
+	if r.Checkpoint != "" {
+		fmt.Fprintf(&b, ", checkpoint %s", r.Checkpoint)
+	}
+	if r.Err != nil {
+		fmt.Fprintf(&b, ": %v", r.Err)
+	}
+	return b.String()
+}
+
+// Config configures a Runner.
+type Config struct {
+	// MaxJobs caps concurrently running jobs (0 → 1).
+	MaxJobs int
+	// Slots caps the summed p×W demand of running jobs (0 → unlimited).
+	// A job whose own demand exceeds Slots is rejected at Submit — it
+	// could never be admitted.
+	Slots int
+	// RetryBase is the backoff base: restart attempt k (1-based) sleeps
+	// RetryBase·2^(k−1) first. Jitter-free, so a fixed failure schedule
+	// replays an identical retry schedule. 0 retries immediately.
+	RetryBase time.Duration
+	// Hooks receives the job lifecycle events
+	// (queued/admitted/running/retry/checkpointed/done/failed) and the
+	// jobs_* metrics. Nil disables both.
+	Hooks *obs.Hooks
+}
+
+// Job is one submitted run. Its exported fields are immutable after Submit.
+type Job struct {
+	ID     int
+	Spec   Spec
+	Budget Budget
+
+	r    *Runner
+	done chan struct{}
+
+	// Guarded by r.mu.
+	state    State
+	restarts int
+	started  time.Time
+	dur      time.Duration
+	out      *core.Output
+	err      error
+}
+
+// Wait blocks until the job reaches a terminal state and returns its
+// output (nil unless StateDone) and error.
+func (j *Job) Wait() (*core.Output, error) {
+	<-j.done
+	j.r.mu.Lock()
+	defer j.r.mu.Unlock()
+	return j.out, j.err
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() State {
+	j.r.mu.Lock()
+	defer j.r.mu.Unlock()
+	return j.state
+}
+
+// Restarts returns how many runner-level restarts the job has consumed.
+func (j *Job) Restarts() int {
+	j.r.mu.Lock()
+	defer j.r.mu.Unlock()
+	return j.restarts
+}
+
+// report builds the job's Report; callers hold r.mu.
+func (j *Job) reportLocked() Report {
+	rep := Report{
+		ID:       j.ID,
+		Name:     j.Spec.Name,
+		State:    j.state,
+		Restarts: j.restarts,
+		Duration: j.dur,
+		Err:      j.err,
+	}
+	if hasCheckpoints(j.Budget.CheckpointDir) {
+		rep.Checkpoint = j.Budget.CheckpointDir
+	}
+	return rep
+}
+
+// Runner is the supervised job queue. Create with New; submit with Submit;
+// stop with Drain (cancel running work) or Close (let it finish).
+type Runner struct {
+	cfg    Config
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	jobs     []*Job
+	queue    []*Job
+	running  int
+	slots    int
+	draining bool
+}
+
+// New returns a runner over the given configuration.
+func New(cfg Config) *Runner {
+	if cfg.MaxJobs <= 0 {
+		cfg.MaxJobs = 1
+	}
+	r := &Runner{cfg: cfg}
+	r.cond = sync.NewCond(&r.mu)
+	r.ctx, r.cancel = context.WithCancel(context.Background())
+	return r
+}
+
+// Submit enqueues one job. Admission is FIFO: the job runs once every
+// earlier job has been admitted and the runner has MaxJobs and Slots
+// capacity for it. Returns ErrClosed after Drain or Close, and an error for
+// jobs whose p×W demand can never fit Slots.
+func (r *Runner) Submit(spec Spec, b Budget) (*Job, error) {
+	if spec.Data == nil {
+		return nil, errors.New("jobs: Submit needs a dataset")
+	}
+	if b.MaxRestarts < 0 {
+		return nil, fmt.Errorf("jobs: MaxRestarts %d must be ≥ 0", b.MaxRestarts)
+	}
+	if r.cfg.Slots > 0 && spec.need() > r.cfg.Slots {
+		return nil, fmt.Errorf("jobs: job needs %d slots (p=%d × W=%d) but the pool has only %d",
+			spec.need(), max(1, spec.Ranks), max(1, spec.Options.Workers), r.cfg.Slots)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.draining {
+		return nil, ErrClosed
+	}
+	j := &Job{ID: len(r.jobs), Spec: spec, Budget: b, r: r, done: make(chan struct{})}
+	r.jobs = append(r.jobs, j)
+	r.queue = append(r.queue, j)
+	r.emit(obs.TypeJobQueued, j)
+	r.count("jobs_submitted_total", "jobs submitted to the runner", 1)
+	r.gauges()
+	r.admitLocked()
+	return j, nil
+}
+
+// admitLocked admits queue heads while capacity allows; callers hold r.mu.
+// Head-of-line blocking keeps admission order deterministic: if the head
+// does not fit, nothing behind it is considered.
+func (r *Runner) admitLocked() {
+	for !r.draining && len(r.queue) > 0 {
+		j := r.queue[0]
+		need := j.Spec.need()
+		if r.running >= r.cfg.MaxJobs {
+			return
+		}
+		if r.cfg.Slots > 0 && r.slots+need > r.cfg.Slots {
+			return
+		}
+		r.queue = r.queue[1:]
+		r.running++
+		r.slots += need
+		j.state = StateRunning
+		j.started = time.Now() //parsivet:wallclock — report duration only, never feeds learned-network state
+		r.emit(obs.TypeJobAdmitted, j)
+		r.gauges()
+		go r.run(j)
+	}
+}
+
+// run executes one admitted job: attempt, and on failure retry with
+// jitter-free exponential backoff until the restart budget is spent. A
+// cancellation (deadline or drain) is terminal immediately — the durable
+// checkpoints are the job's result.
+func (r *Runner) run(j *Job) {
+	ctx := r.ctx
+	cancel := context.CancelFunc(func() {})
+	if j.Budget.Deadline > 0 {
+		ctx, cancel = context.WithTimeout(r.ctx, j.Budget.Deadline)
+	}
+	defer cancel()
+
+	opt := j.Spec.Options
+	opt.Ctx = ctx
+	opt.CheckpointDir = j.Budget.CheckpointDir
+	opt.BinaryCheckpoints = j.Budget.BinaryCheckpoints
+	opt.MaxRestarts = 0 // restarts are runner-owned
+
+	r.mu.Lock()
+	r.emit(obs.TypeJobRunning, j)
+	r.mu.Unlock()
+
+	for attempt := 0; ; attempt++ {
+		out, err := core.LearnParallel(max(1, j.Spec.Ranks), j.Spec.Data, opt)
+		if err == nil {
+			r.finish(j, StateDone, out, nil)
+			return
+		}
+		var ce *core.CancelledError
+		if errors.As(err, &ce) {
+			r.mu.Lock()
+			if len(ce.Checkpoints) > 0 {
+				r.emit(obs.TypeJobCheckpointed, j)
+			}
+			r.mu.Unlock()
+			r.finish(j, StateCancelled, nil, err)
+			return
+		}
+		if attempt >= j.Budget.MaxRestarts {
+			r.finish(j, StateFailed, nil, err)
+			return
+		}
+		// An injected fault fires once; clear it so the retry resumes
+		// cleanly (mirroring core.LearnParallel's own restart loop).
+		opt.Inject = nil
+		r.mu.Lock()
+		j.restarts++
+		j.err = err
+		r.emit(obs.TypeJobRetry, j)
+		j.err = nil
+		r.count("jobs_retries_total", "runner-level job restarts", 1)
+		r.mu.Unlock()
+		if r.cfg.RetryBase > 0 {
+			backoff := r.cfg.RetryBase << attempt
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				// Cancelled mid-backoff: the checkpoints written before
+				// the failure are the drain state.
+				r.mu.Lock()
+				if hasCheckpoints(j.Budget.CheckpointDir) {
+					r.emit(obs.TypeJobCheckpointed, j)
+				}
+				r.mu.Unlock()
+				r.finish(j, StateCancelled, nil, cancelCause(ctx))
+				return
+			}
+		}
+	}
+}
+
+// cancelCause maps a fired job context to the core sentinel a cancelled
+// learning run would have reported.
+func cancelCause(ctx context.Context) error {
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return core.ErrDeadline
+	}
+	return core.ErrCancelled
+}
+
+// finish moves a job to its terminal state, releases its capacity, and
+// admits the next queue head.
+func (r *Runner) finish(j *Job, st State, out *core.Output, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	j.state = st
+	j.out = out
+	j.err = err
+	j.dur = time.Since(j.started) //parsivet:wallclock — report duration only, never feeds learned-network state
+	r.running--
+	r.slots -= j.Spec.need()
+	switch st {
+	case StateDone:
+		r.emit(obs.TypeJobDone, j)
+		r.count("jobs_done_total", "jobs completed with a learned network", 1)
+	case StateCancelled:
+		r.emit(obs.TypeJobFailed, j)
+		r.count("jobs_cancelled_total", "jobs stopped by deadline or drain", 1)
+	default:
+		r.emit(obs.TypeJobFailed, j)
+		r.count("jobs_failed_total", "jobs that exhausted their restart budget", 1)
+	}
+	r.gauges()
+	close(j.done)
+	r.admitLocked()
+	r.cond.Broadcast()
+}
+
+// Drain performs a graceful shutdown (the SIGTERM path): stop admitting,
+// fail every still-queued job with ErrDrained, cancel the running jobs'
+// contexts so they drain to durable checkpoints, wait for them to finish,
+// and return one Report per submitted job, in submission order. Safe to
+// call once; subsequent Submits return ErrClosed.
+func (r *Runner) Drain() []Report {
+	r.mu.Lock()
+	r.draining = true
+	for _, j := range r.queue {
+		j.state = StateFailed
+		j.err = ErrDrained
+		r.emit(obs.TypeJobFailed, j)
+		r.count("jobs_failed_total", "jobs that exhausted their restart budget", 1)
+		close(j.done)
+	}
+	r.queue = nil
+	r.gauges()
+	r.mu.Unlock()
+
+	r.cancel() // running jobs observe cancellation at their next check
+	r.mu.Lock()
+	for r.running > 0 {
+		r.cond.Wait()
+	}
+	reports := r.reportsLocked()
+	r.mu.Unlock()
+	return reports
+}
+
+// Close stops admission of new jobs and waits for every submitted job —
+// queued and running — to finish normally (no cancellation), returning the
+// reports in submission order.
+func (r *Runner) Close() []Report {
+	r.mu.Lock()
+	for len(r.queue) > 0 || r.running > 0 {
+		r.cond.Wait()
+	}
+	r.draining = true
+	reports := r.reportsLocked()
+	r.mu.Unlock()
+	r.cancel()
+	return reports
+}
+
+// reportsLocked builds the per-job reports; callers hold r.mu.
+func (r *Runner) reportsLocked() []Report {
+	reports := make([]Report, len(r.jobs))
+	for i, j := range r.jobs {
+		reports[i] = j.reportLocked()
+	}
+	return reports
+}
+
+// emit sends one lifecycle event for j; callers hold r.mu (the recorder
+// has its own lock, so nesting is safe).
+func (r *Runner) emit(typ string, j *Job) {
+	if r.cfg.Hooks == nil {
+		return
+	}
+	info := &obs.JobInfo{
+		ID:       j.ID,
+		Name:     j.Spec.Name,
+		Ranks:    max(1, j.Spec.Ranks),
+		Workers:  max(1, j.Spec.Options.Workers),
+		Restarts: j.restarts,
+	}
+	if typ == obs.TypeJobCheckpointed {
+		info.Checkpoint = j.Budget.CheckpointDir
+	}
+	if j.err != nil {
+		info.Err = j.err.Error()
+	}
+	r.cfg.Hooks.Emit(obs.Event{Type: typ, Job: info})
+}
+
+// count bumps a runner counter metric.
+func (r *Runner) count(name, help string, delta int64) {
+	if reg := r.cfg.Hooks.Registry(); reg != nil {
+		reg.Counter(name, help, "runner", "jobs").Add(delta)
+	}
+}
+
+// gauges refreshes the queue/capacity gauges; callers hold r.mu.
+func (r *Runner) gauges() {
+	reg := r.cfg.Hooks.Registry()
+	if reg == nil {
+		return
+	}
+	reg.Gauge("jobs_queued", "jobs waiting for admission", "runner", "jobs").Set(float64(len(r.queue)))
+	reg.Gauge("jobs_running", "jobs currently admitted", "runner", "jobs").Set(float64(r.running))
+	reg.Gauge("jobs_slots_used", "p×W slots held by running jobs", "runner", "jobs").Set(float64(r.slots))
+}
+
+// hasCheckpoints reports whether dir holds at least one durable (non-temp)
+// checkpoint file.
+func hasCheckpoints(dir string) bool {
+	if dir == "" {
+		return false
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range ents {
+		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".tmp") {
+			return true
+		}
+	}
+	return false
+}

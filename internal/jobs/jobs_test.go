@@ -1,0 +1,337 @@
+package jobs
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"parsimone/internal/comm"
+	"parsimone/internal/core"
+	"parsimone/internal/dataset"
+	"parsimone/internal/obs"
+	"parsimone/internal/result"
+	"parsimone/internal/splits"
+	"parsimone/internal/synth"
+)
+
+// fixture builds a small learning problem plus its uninterrupted reference
+// network — the bit-identity oracle of every runtime test.
+func fixture(t *testing.T) (*dataset.Data, core.Options, *core.Output) {
+	t.Helper()
+	d, _, err := synth.Generate(synth.Config{
+		N: 48, M: 24, Regulators: 4, Modules: 4, Noise: 0.3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = 3
+	opt.Ganesh.Updates = 1
+	opt.Module.Splits = splits.Params{NumSplits: 2, MaxSteps: 16}
+	want, err := core.Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, opt, want
+}
+
+// eventTypes extracts the (type, job id) sequence of the job.* events.
+func eventTypes(rec *obs.Recorder) []string {
+	var seq []string
+	for _, ev := range rec.Events() {
+		if ev.Job != nil {
+			seq = append(seq, fmt.Sprintf("%s:%d", ev.Type, ev.Job.ID))
+		}
+	}
+	return seq
+}
+
+// TestRunnerFIFOAdmission: with one running slot, three jobs are admitted
+// strictly in submission order, whatever order their goroutines would have
+// been scheduled in, and all complete with the reference network.
+func TestRunnerFIFOAdmission(t *testing.T) {
+	d, opt, want := fixture(t)
+	rec := obs.NewRecorder(0)
+	r := New(Config{MaxJobs: 1, Hooks: obs.NewHooks(rec, nil)})
+	var jobs []*Job
+	for i := 0; i < 3; i++ {
+		j, err := r.Submit(Spec{Name: fmt.Sprintf("job%d", i), Ranks: 1, Data: d, Options: opt}, Budget{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	reports := r.Close()
+	for i, j := range jobs {
+		out, err := j.Wait()
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if !result.Equal(out.Network, want.Network) {
+			t.Fatalf("job %d learned a different network", i)
+		}
+		if reports[i].State != StateDone {
+			t.Fatalf("report %d: state %v, want done", i, reports[i].State)
+		}
+	}
+	var admitted []int
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.TypeJobAdmitted {
+			admitted = append(admitted, ev.Job.ID)
+		}
+	}
+	if fmt.Sprint(admitted) != "[0 1 2]" {
+		t.Fatalf("admission order %v, want [0 1 2]", admitted)
+	}
+	if err := obs.Validate(rec.Events()); err != nil {
+		t.Fatalf("job event stream invalid: %v", err)
+	}
+}
+
+// TestRunnerSlotAccounting: capacity is p×W — a job that saturates the pool
+// holds back the next one until it finishes (admitted-after-done in the
+// event stream), and a job that can never fit is rejected at Submit.
+func TestRunnerSlotAccounting(t *testing.T) {
+	d, opt, _ := fixture(t)
+	rec := obs.NewRecorder(0)
+	r := New(Config{MaxJobs: 8, Slots: 4, Hooks: obs.NewHooks(rec, nil)})
+
+	wide := opt
+	wide.Workers = 2
+	if _, err := r.Submit(Spec{Ranks: 4, Data: d, Options: wide}, Budget{}); err == nil {
+		t.Fatal("job needing 8 slots admitted into a 4-slot pool")
+	}
+
+	// Job 0 needs 2×2 = 4 slots (the whole pool); job 1 needs 1.
+	if _, err := r.Submit(Spec{Ranks: 2, Data: d, Options: wide}, Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Submit(Spec{Ranks: 1, Data: d, Options: opt}, Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	reports := r.Close()
+	for _, rep := range reports {
+		if rep.State != StateDone {
+			t.Fatalf("%v", rep)
+		}
+	}
+	var order []string
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.TypeJobAdmitted || ev.Type == obs.TypeJobDone {
+			order = append(order, fmt.Sprintf("%s:%d", ev.Type, ev.Job.ID))
+		}
+	}
+	wantOrder := "[job.admitted:0 job.done:0 job.admitted:1 job.done:1]"
+	if fmt.Sprint(order) != wantOrder {
+		t.Fatalf("event order %v, want %v — job 1 was admitted while job 0 held the pool", order, wantOrder)
+	}
+}
+
+// TestJobDeadlineDrainsToResumableCheckpoint: a deadline stops the job as
+// StateCancelled with core.ErrDeadline, and the checkpoint directory it
+// drained to resumes to the bit-identical network.
+func TestJobDeadlineDrainsToResumableCheckpoint(t *testing.T) {
+	d, opt, want := fixture(t)
+	dir := t.TempDir()
+	r := New(Config{MaxJobs: 1})
+	j, err := r.Submit(Spec{Ranks: 1, Data: d, Options: opt},
+		Budget{Deadline: time.Millisecond, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, jerr := j.Wait()
+	if out != nil || !errors.Is(jerr, core.ErrDeadline) {
+		t.Fatalf("got (%v, %v), want (nil, ErrDeadline)", out != nil, jerr)
+	}
+	if j.State() != StateCancelled {
+		t.Fatalf("state %v, want cancelled", j.State())
+	}
+	resumed := opt
+	resumed.CheckpointDir = dir
+	got, err := core.LearnParallel(1, d, resumed)
+	if err != nil {
+		t.Fatalf("resume from the drained checkpoint failed: %v", err)
+	}
+	if !result.Equal(got.Network, want.Network) {
+		t.Fatal("resumed network differs from the uninterrupted run")
+	}
+	r.Drain()
+}
+
+// TestJobRetryAfterInjectedFault: the runner owns restarts — an injected
+// rank crash consumes one of the job's MaxRestarts, the retry resumes from
+// the checkpoint directory, and the final network is bit-identical.
+func TestJobRetryAfterInjectedFault(t *testing.T) {
+	d, opt, want := fixture(t)
+	rec := obs.NewRecorder(0)
+	reg := obs.NewRegistry()
+	r := New(Config{MaxJobs: 1, RetryBase: time.Millisecond, Hooks: obs.NewHooks(rec, reg)})
+	injected := opt
+	injected.Inject = &core.FaultSpec{Task: core.TaskGaneSH, Rank: 0}
+	j, err := r.Submit(Spec{Name: "faulty", Ranks: 2, Data: d, Options: injected},
+		Budget{MaxRestarts: 1, CheckpointDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, jerr := j.Wait()
+	if jerr != nil {
+		t.Fatalf("job failed despite its restart budget: %v", jerr)
+	}
+	if !result.Equal(out.Network, want.Network) {
+		t.Fatal("retried job learned a different network")
+	}
+	if j.Restarts() != 1 {
+		t.Fatalf("job consumed %d restarts, want 1", j.Restarts())
+	}
+	var sawRetry bool
+	for _, ev := range rec.Events() {
+		if ev.Type == obs.TypeJobRetry {
+			sawRetry = true
+			if ev.Job.Err == "" {
+				t.Error("job.retry event carries no error description")
+			}
+		}
+	}
+	if !sawRetry {
+		t.Fatal("no job.retry event emitted")
+	}
+	if got := reg.Counter("jobs_retries_total", "", "runner", "jobs").Value(); got != 1 {
+		t.Fatalf("jobs_retries_total = %d, want 1", got)
+	}
+	r.Drain()
+}
+
+// TestJobExhaustsRestartBudget: with MaxRestarts 0, the injected crash is
+// the job's terminal error.
+func TestJobExhaustsRestartBudget(t *testing.T) {
+	d, opt, _ := fixture(t)
+	r := New(Config{MaxJobs: 1})
+	injected := opt
+	injected.Inject = &core.FaultSpec{Task: core.TaskGaneSH, Rank: 0}
+	j, err := r.Submit(Spec{Ranks: 2, Data: d, Options: injected}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, jerr := j.Wait(); !errors.Is(jerr, comm.ErrInjected) {
+		t.Fatalf("got %v, want the injected crash", jerr)
+	}
+	if j.State() != StateFailed {
+		t.Fatalf("state %v, want failed", j.State())
+	}
+	r.Drain()
+}
+
+// TestDrainUnderFault is the graceful-drain acceptance property: a drain
+// racing an injected rank crash (with a restart budget, so the drain can
+// land before, during, or after the recovery) must end every job either
+// completed — bit-identical network — or cancelled with durable state that
+// resumes bit-identically. For p ∈ {1, 2, 4}; queued jobs behind the
+// drained one fail with ErrDrained and never run.
+func TestDrainUnderFault(t *testing.T) {
+	d, opt, want := fixture(t)
+	for _, p := range []int{1, 2, 4} {
+		p := p
+		t.Run(fmt.Sprintf("p%d", p), func(t *testing.T) {
+			dir := t.TempDir()
+			r := New(Config{MaxJobs: 1, RetryBase: 20 * time.Millisecond})
+			injected := opt
+			if p == 1 {
+				// Single-rank worlds have no comm ops to address; crash at
+				// a pipeline failpoint instead.
+				injected.Inject = &core.FaultSpec{Task: "module:0", Rank: 0}
+			} else {
+				injected.Inject = &core.FaultSpec{Comm: []comm.Fault{
+					{Rank: p - 1, Op: 2, Kind: comm.FaultCrash},
+				}}
+			}
+			running, err := r.Submit(Spec{Name: "victim", Ranks: p, Data: d, Options: injected},
+				Budget{MaxRestarts: 1, CheckpointDir: dir})
+			if err != nil {
+				t.Fatal(err)
+			}
+			queued, err := r.Submit(Spec{Name: "starved", Ranks: p, Data: d, Options: opt}, Budget{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			time.Sleep(10 * time.Millisecond) // let the drain race the crash and retry
+			reports := r.Drain()
+
+			if _, qerr := queued.Wait(); !errors.Is(qerr, ErrDrained) {
+				t.Fatalf("queued job got %v, want ErrDrained", qerr)
+			}
+			out, jerr := running.Wait()
+			switch running.State() {
+			case StateDone:
+				if !result.Equal(out.Network, want.Network) {
+					t.Fatal("drained job completed with a different network")
+				}
+			case StateCancelled:
+				if !errors.Is(jerr, core.ErrCancelled) && !errors.Is(jerr, core.ErrDeadline) {
+					t.Fatalf("cancelled job error %v carries no cancellation sentinel", jerr)
+				}
+				resumed := opt
+				resumed.CheckpointDir = dir
+				got, err := core.LearnParallel(p, d, resumed)
+				if err != nil {
+					t.Fatalf("resume of the drained job failed: %v", err)
+				}
+				if !result.Equal(got.Network, want.Network) {
+					t.Fatal("drained job's checkpoint resumed to a different network")
+				}
+			default:
+				t.Fatalf("drained job ended %v (err %v), want done or cancelled", running.State(), jerr)
+			}
+			if len(reports) != 2 || reports[1].Err == nil {
+				t.Fatalf("reports %v do not cover both jobs", reports)
+			}
+			if _, err := r.Submit(Spec{Ranks: 1, Data: d, Options: opt}, Budget{}); !errors.Is(err, ErrClosed) {
+				t.Fatalf("post-drain Submit got %v, want ErrClosed", err)
+			}
+		})
+	}
+}
+
+// TestRunnerEventStreamAndMetrics: the lifecycle stream of a mixed run
+// (one success, one drained-away job) validates against the obs schema and
+// feeds the metrics registry.
+func TestRunnerEventStreamAndMetrics(t *testing.T) {
+	d, opt, _ := fixture(t)
+	rec := obs.NewRecorder(0)
+	reg := obs.NewRegistry()
+	r := New(Config{MaxJobs: 1, Hooks: obs.NewHooks(rec, reg)})
+	j, err := r.Submit(Spec{Name: "ok", Ranks: 1, Data: d, Options: opt}, Budget{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	// Drained before admission: emits job.failed with ErrDrained.
+	r.mu.Lock()
+	r.queue = append(r.queue, &Job{ID: len(r.jobs), Spec: Spec{Name: "late"}, r: r, done: make(chan struct{})})
+	r.jobs = append(r.jobs, r.queue[0])
+	r.mu.Unlock()
+	r.Drain()
+
+	evs := rec.Events()
+	if err := obs.Validate(evs); err != nil {
+		t.Fatalf("event stream invalid: %v", err)
+	}
+	seq := eventTypes(rec)
+	wantPrefix := []string{"job.queued:0", "job.admitted:0", "job.running:0", "job.done:0"}
+	for i, w := range wantPrefix {
+		if i >= len(seq) || seq[i] != w {
+			t.Fatalf("event sequence %v, want prefix %v", seq, wantPrefix)
+		}
+	}
+	if seq[len(seq)-1] != "job.failed:1" {
+		t.Fatalf("drain did not fail the queued job: %v", seq)
+	}
+	if got := reg.Counter("jobs_done_total", "", "runner", "jobs").Value(); got != 1 {
+		t.Fatalf("jobs_done_total = %d, want 1", got)
+	}
+	if got := reg.Counter("jobs_failed_total", "", "runner", "jobs").Value(); got != 1 {
+		t.Fatalf("jobs_failed_total = %d, want 1", got)
+	}
+}

@@ -62,6 +62,17 @@ const (
 	TypePoolCost    = "pool.cost"         // payload Pool
 	TypeImbalance   = "imbalance"         // payload Imbalance
 	TypeConsensus   = "consensus.extract" // payload Consensus
+
+	// Job lifecycle events, emitted by the supervised job runtime
+	// (internal/jobs). Rank is always 0: the runtime is a single
+	// supervisor, not a rank of a world.
+	TypeJobQueued       = "job.queued"       // payload Job
+	TypeJobAdmitted     = "job.admitted"     // payload Job
+	TypeJobRunning      = "job.running"      // payload Job
+	TypeJobRetry        = "job.retry"        // payload Job
+	TypeJobCheckpointed = "job.checkpointed" // payload Job
+	TypeJobDone         = "job.done"         // payload Job
+	TypeJobFailed       = "job.failed"       // payload Job
 )
 
 // RunInfo describes a whole run (run.start / run.end).
@@ -128,6 +139,26 @@ type ConsensusInfo struct {
 	Extracted int `json:"extracted,omitempty"`
 }
 
+// JobInfo describes one lifecycle transition of a supervised job
+// (internal/jobs). The payload of every job.* event type.
+type JobInfo struct {
+	// ID is the runner-assigned job id (dense, in submission order);
+	// Name the caller's label.
+	ID   int    `json:"id"`
+	Name string `json:"name,omitempty"`
+	// Ranks×Workers is the p×W capacity the job holds while admitted.
+	Ranks   int `json:"ranks,omitempty"`
+	Workers int `json:"workers,omitempty"`
+	// Restarts counts runner-level retries so far (job.retry, job.done,
+	// job.failed).
+	Restarts int `json:"restarts,omitempty"`
+	// Checkpoint is the job's checkpoint directory (job.checkpointed: the
+	// durable resume state a drained or failed job left behind).
+	Checkpoint string `json:"checkpoint,omitempty"`
+	// Err describes the failure (job.failed, job.retry).
+	Err string `json:"err,omitempty"`
+}
+
 // Event is one structured run event. Seq is dense and ascending within a
 // stream; Rank is the emitting rank. TNS (wall-clock nanoseconds) and DurNS
 // (a measured duration) are the only nondeterministic fields — Canonical
@@ -149,6 +180,7 @@ type Event struct {
 	Pool       *PoolInfo            `json:"pool,omitempty"`
 	Imbalance  *ImbalanceInfo       `json:"imbalance,omitempty"`
 	Consensus  *ConsensusInfo       `json:"consensus,omitempty"`
+	Job        *JobInfo             `json:"job,omitempty"`
 }
 
 // payload returns the event's single non-nil payload, or nil.
@@ -160,7 +192,7 @@ func (e *Event) payload() any {
 		{e.Run, e.Run != nil}, {e.Task, e.Task != nil}, {e.Module, e.Module != nil},
 		{e.Checkpoint, e.Checkpoint != nil}, {e.Recovery, e.Recovery != nil},
 		{e.Comm, e.Comm != nil}, {e.Pool, e.Pool != nil}, {e.Imbalance, e.Imbalance != nil},
-		{e.Consensus, e.Consensus != nil},
+		{e.Consensus, e.Consensus != nil}, {e.Job, e.Job != nil},
 	}
 	var found any
 	for _, p := range ptrs {
@@ -189,6 +221,14 @@ var typePayload = map[string]func(*Event) bool{
 	TypePoolCost:    func(e *Event) bool { return e.Pool != nil },
 	TypeImbalance:   func(e *Event) bool { return e.Imbalance != nil },
 	TypeConsensus:   func(e *Event) bool { return e.Consensus != nil },
+
+	TypeJobQueued:       func(e *Event) bool { return e.Job != nil },
+	TypeJobAdmitted:     func(e *Event) bool { return e.Job != nil },
+	TypeJobRunning:      func(e *Event) bool { return e.Job != nil },
+	TypeJobRetry:        func(e *Event) bool { return e.Job != nil },
+	TypeJobCheckpointed: func(e *Event) bool { return e.Job != nil },
+	TypeJobDone:         func(e *Event) bool { return e.Job != nil },
+	TypeJobFailed:       func(e *Event) bool { return e.Job != nil },
 }
 
 // Validate checks an event stream against the schema: known types, the

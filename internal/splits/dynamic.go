@@ -103,16 +103,15 @@ func LearnParallelDynamic(c *comm.Comm, q *score.QData, pr score.Prior, modules 
 		next := 0
 		active := c.Size() - 1
 		for active > 0 {
-			var worker int
-			if par.CoordTimeout > 0 {
-				_, w, ok := comm.RecvAnyTimeout[int](c, par.CoordTimeout)
-				if !ok {
-					panic(fmt.Errorf("splits: dynamic coordinator timed out after %v waiting for a work request (%d workers still active)",
-						par.CoordTimeout, active))
-				}
-				worker = w
-			} else {
-				_, worker = comm.RecvAny[int](c)
+			// The wait honors both the watchdog timeout and the run's
+			// cancel signal (comm.RecvAnyCtx): a hung worker turns into a
+			// detectable failure after CoordTimeout, and a cancelled run
+			// releases the coordinator immediately instead of waiting the
+			// timeout out.
+			_, worker, ok := comm.RecvAnyCtx[int](c, par.Cancel, par.CoordTimeout)
+			if !ok {
+				panic(fmt.Errorf("splits: dynamic coordinator timed out after %v waiting for a work request (%d workers still active)",
+					par.CoordTimeout, active))
 			}
 			if next < total {
 				hi := min(next+chunk, total)

@@ -61,3 +61,38 @@ func TestDynamicCoordTimeoutDetectsHungWorker(t *testing.T) {
 		t.Fatalf("world took %v to abort; the stalled worker was not released", elapsed)
 	}
 }
+
+// TestDynamicCoordinatorReleasedByCancel: a coordinator waiting on a hung
+// worker with NO watchdog configured (CoordTimeout 0, the unbounded wait)
+// must still be released promptly when the run's cancel signal fires —
+// cancellation, not the timeout, tears the world down.
+func TestDynamicCoordinatorReleasedByCancel(t *testing.T) {
+	q, modules, trees, _ := fixture(t, 11)
+	pr := score.DefaultPrior()
+	reason := errors.New("test: run cancelled")
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		close(done)
+	}()
+	// Rank 1 never makes its first work request; without a watchdog only
+	// the cancel signal can release the coordinator.
+	faults := []comm.Fault{{Rank: 1, Op: 1, Kind: comm.FaultDelay, Delay: time.Hour}}
+	start := time.Now()
+	_, err := comm.RunWithFaults(3, faults, func(c *comm.Comm) error {
+		par := Params{NumSplits: 2, MaxSteps: 24,
+			Cancel: comm.NewCanceler(done, func() error { return reason })}
+		LearnParallelDynamic(c, q, pr, modules, trees, par, prng.New(17), 7)
+		return nil
+	})
+	var re *comm.RankError
+	if !errors.As(err, &re) || re.Rank != 0 {
+		t.Fatalf("got %v, want the coordinator's (rank 0) RankError", err)
+	}
+	if !errors.Is(err, reason) {
+		t.Fatalf("error %v does not carry the cancellation reason", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("world took %v to abort after cancellation", elapsed)
+	}
+}

@@ -98,6 +98,13 @@ type Params struct {
 	// re-expression); the switch exists so the `kernel` benchtab
 	// experiment can measure the tables' effect end to end.
 	DisableKernel bool
+	// Cancel is the run's cooperative cancellation signal. Split
+	// assignment itself polls nothing (a module's splits are recomputed
+	// wholesale on resume, so the module edge is the cancellation
+	// granularity), but the dynamic coordinator's watchdog wait honors it:
+	// a cancelled run releases a coordinator blocked on worker requests
+	// immediately instead of after CoordTimeout (comm.RecvAnyCtx).
+	Cancel *comm.Canceler
 }
 
 func (p Params) withDefaults(n int) Params {
