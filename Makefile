@@ -11,7 +11,7 @@ GO ?= go
 # Iterations of the seeded cancel/fault chaos soak (`make soak`).
 SOAK_ITERS ?= 25
 
-.PHONY: tier1 fmt vet lint build test race faults soak fuzz fuzz-score fuzz-wire bench
+.PHONY: tier1 fmt vet lint build test race faults soak fuzz fuzz-score fuzz-wire bench serve-smoke
 
 tier1: fmt vet lint build test race faults
 
@@ -39,7 +39,8 @@ test:
 
 race:
 	$(GO) test -race ./internal/comm/ ./internal/splits/ ./internal/pool/ ./internal/obs/ \
-		./internal/core/ ./internal/ganesh/ ./internal/wire/ ./internal/jobs/
+		./internal/core/ ./internal/ganesh/ ./internal/wire/ ./internal/jobs/ \
+		./internal/serve/ ./cmd/parsimoned/
 
 # The fault-injection, crash-recovery, and cancellation suite, race-enabled:
 # injected crashes/delays/drops in comm, the dynamic-coordinator watchdog,
@@ -85,3 +86,10 @@ fuzz-score:
 # Regenerate the full reduced-scale reproduction (minutes).
 bench:
 	$(GO) run ./cmd/benchtab all
+
+# Boot the parsimoned daemon on an ephemeral port, drive one tiny learn job
+# end-to-end through its HTTP surface (submit → long-poll done → download +
+# decode the binary network → predict), and drain. Exits non-zero on any
+# failure.
+serve-smoke:
+	$(GO) run ./cmd/parsimoned -addr 127.0.0.1:0 -smoke

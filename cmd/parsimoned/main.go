@@ -1,0 +1,214 @@
+// Command parsimoned is the module-network learning daemon: an HTTP/JSON
+// service (internal/serve) over the supervised job runtime (internal/jobs).
+// Clients POST learn jobs, poll or long-poll their status, stream lifecycle
+// events, download the learned network (xml/json/binary), and run
+// prediction queries; identical resubmissions are answered from the exact
+// result cache without a learning run.
+//
+// Usage:
+//
+//	parsimoned -addr 127.0.0.1:8080 -max-jobs 2 -checkpoints /var/lib/parsimone
+//
+// SIGINT/SIGTERM drain gracefully: new submissions get 503, running jobs
+// cancel cooperatively to their durable checkpoints, and the final reports
+// (one per job, naming each resume path) are logged before exit. Restarting
+// the daemon with the same -checkpoints root resumes a drained submission
+// bit-identically — checkpoint directories are content-addressed by the
+// job's cache key.
+//
+// The -smoke flag boots the daemon on the given address, drives one tiny
+// synthetic job end-to-end through its own HTTP surface, drains, and exits
+// non-zero on any failure (the `make serve-smoke` target).
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"parsimone/internal/jobs"
+	"parsimone/internal/result"
+	"parsimone/internal/serve"
+	"parsimone/internal/synth"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := runCtx(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "parsimoned:", err)
+		os.Exit(1)
+	}
+}
+
+// runCtx runs the daemon under a caller-supplied lifetime context (the
+// signal context in main), with its own flag set so it is testable.
+func runCtx(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("parsimoned", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
+		maxJobs   = fs.Int("max-jobs", 2, "concurrently running learn jobs")
+		slots     = fs.Int("slots", 0, "cap on the summed p×W demand of running jobs (0 = unlimited)")
+		retryBase = fs.Duration("retry-base", time.Second, "base of the jitter-free exponential backoff between job restarts")
+		ckptRoot  = fs.String("checkpoints", "", "checkpoint root: every job gets a directory under it, content-addressed by its cache key, so a drained submission resumes bit-identically on resubmission (empty = no checkpointing)")
+		dataDir   = fs.String("data-dir", "", "root for server-side dataset paths in submissions (empty = inline TSV uploads only)")
+		smoke     = fs.Bool("smoke", false, "boot, run one tiny synthetic job end-to-end against the HTTP surface, drain, and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := serve.NewServer(serve.Config{
+		Jobs:           jobs.Config{MaxJobs: *maxJobs, Slots: *slots, RetryBase: *retryBase},
+		CheckpointRoot: *ckptRoot,
+		DataDir:        *dataDir,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "parsimoned: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- hs.Serve(ln) }()
+
+	var smokeErr error
+	if *smoke {
+		smokeErr = smokeRun(stdout, "http://"+ln.Addr().String())
+		fmt.Fprintln(stdout, "parsimoned: smoke finished, draining")
+	} else {
+		select {
+		case <-ctx.Done():
+			fmt.Fprintln(stdout, "parsimoned: signal received, draining")
+		case err := <-serveErr:
+			return err
+		}
+	}
+
+	// Graceful drain: the server 503s new submissions, running jobs cancel
+	// cooperatively to their durable checkpoints, and every job's final
+	// report — including its resume path — is logged.
+	for _, rep := range srv.Drain() {
+		fmt.Fprintln(stdout, "parsimoned:", rep.String())
+	}
+	sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	hs.Shutdown(sctx) //nolint:errcheck — lingering connections just get cut
+	return smokeErr
+}
+
+// smokeRun drives one tiny learning job end-to-end through the daemon's own
+// HTTP surface: submit, long-poll done, download + decode the binary
+// network, and run one prediction.
+func smokeRun(stdout io.Writer, base string) error {
+	d, _, err := synth.Generate(synth.Config{
+		N: 32, M: 16, Regulators: 3, Modules: 3, Noise: 0.3, Seed: 2,
+	})
+	if err != nil {
+		return err
+	}
+	var tsv bytes.Buffer
+	if err := d.WriteTSV(&tsv); err != nil {
+		return err
+	}
+	req := serve.JobRequest{
+		Name:     "smoke",
+		Dataset:  serve.DatasetRequest{TSV: tsv.String()},
+		Seed:     3,
+		Updates:  1,
+		Splits:   2,
+		MaxSteps: 16,
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := http.Post(base+"/api/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	var st serve.JobStatus
+	if err := decodeInto(resp, http.StatusAccepted, &st); err != nil {
+		return fmt.Errorf("submit: %w", err)
+	}
+
+	for i := 0; ; i++ {
+		resp, err = http.Get(fmt.Sprintf("%s/api/v1/jobs/%d?wait_ms=10000", base, st.ID))
+		if err != nil {
+			return err
+		}
+		if err := decodeInto(resp, http.StatusOK, &st); err != nil {
+			return fmt.Errorf("status: %w", err)
+		}
+		if st.State == "done" {
+			break
+		}
+		if st.State == "failed" || st.State == "cancelled" || i >= 30 {
+			return fmt.Errorf("smoke job ended %s (%s)", st.State, st.Error)
+		}
+	}
+
+	resp, err = http.Get(fmt.Sprintf("%s/api/v1/jobs/%d/network?format=binary", base, st.ID))
+	if err != nil {
+		return err
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("network: HTTP %d: %s", resp.StatusCode, raw)
+	}
+	nw, err := result.ReadBinary(bytes.NewReader(raw))
+	if err != nil {
+		return fmt.Errorf("network: %w", err)
+	}
+
+	obsVec := make([]float64, d.N)
+	for i := 0; i < d.N; i++ {
+		obsVec[i] = d.At(i, 0)
+	}
+	pbody, err := json.Marshal(serve.PredictRequest{Observation: obsVec})
+	if err != nil {
+		return err
+	}
+	resp, err = http.Post(fmt.Sprintf("%s/api/v1/jobs/%d/predict", base, st.ID),
+		"application/json", bytes.NewReader(pbody))
+	if err != nil {
+		return err
+	}
+	var pr serve.PredictResponse
+	if err := decodeInto(resp, http.StatusOK, &pr); err != nil {
+		return fmt.Errorf("predict: %w", err)
+	}
+	if len(pr.Predictions) != len(nw.Modules) {
+		return fmt.Errorf("predict: %d predictions for %d modules", len(pr.Predictions), len(nw.Modules))
+	}
+	fmt.Fprintf(stdout, "parsimoned: smoke ok — %d modules, %d-byte binary network, %d predictions\n",
+		len(nw.Modules), len(raw), len(pr.Predictions))
+	return nil
+}
+
+// decodeInto checks the response status and unmarshals its JSON body.
+func decodeInto(resp *http.Response, want int, v any) error {
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != want {
+		return fmt.Errorf("HTTP %d (want %d): %s", resp.StatusCode, want, raw)
+	}
+	return json.Unmarshal(raw, v)
+}

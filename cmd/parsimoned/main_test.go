@@ -1,0 +1,24 @@
+package main
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+// TestSmokeEndToEnd boots the daemon on an ephemeral port, drives one tiny
+// job through its HTTP surface via -smoke, and drains — the same path the
+// `make serve-smoke` target exercises.
+func TestSmokeEndToEnd(t *testing.T) {
+	var out strings.Builder
+	err := runCtx(context.Background(),
+		[]string{"-addr", "127.0.0.1:0", "-smoke", "-checkpoints", t.TempDir()}, &out)
+	if err != nil {
+		t.Fatalf("smoke run failed: %v\noutput:\n%s", err, out.String())
+	}
+	for _, want := range []string{"listening on http://", "smoke ok", "job 0 (smoke): done"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output is missing %q:\n%s", want, out.String())
+		}
+	}
+}

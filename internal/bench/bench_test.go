@@ -200,3 +200,24 @@ func TestSubsetDataCachesMaster(t *testing.T) {
 		t.Fatal("subset aliases the cached master")
 	}
 }
+
+// TestServeExperiment: the service table must carry one row per load job
+// with a sub-second cache-hit latency column — the second identical
+// submission never runs a learning job.
+func TestServeExperiment(t *testing.T) {
+	tab, err := Run("serve", Quick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 4 {
+		t.Fatalf("want 4 rows (one per load job), got %d", len(tab.Rows))
+	}
+	if got := tab.Header[len(tab.Header)-2]; got != "cache hit" {
+		t.Fatalf("second-to-last column %q, want the cache-hit latency", got)
+	}
+	for _, row := range tab.Rows {
+		if !strings.HasSuffix(row[len(row)-1], "x") {
+			t.Fatalf("speedup cell %q is not a factor", row[len(row)-1])
+		}
+	}
+}

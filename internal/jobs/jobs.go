@@ -239,6 +239,10 @@ type Runner struct {
 	running  int
 	slots    int
 	draining bool
+	// closed stops admission of new submissions immediately (set by Close
+	// before it waits, and by Drain), while draining additionally stops
+	// the queue from being admitted.
+	closed bool
 }
 
 // New returns a runner over the given configuration.
@@ -269,7 +273,7 @@ func (r *Runner) Submit(spec Spec, b Budget) (*Job, error) {
 	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	if r.draining {
+	if r.closed || r.draining {
 		return nil, ErrClosed
 	}
 	j := &Job{ID: len(r.jobs), Spec: spec, Budget: b, r: r, done: make(chan struct{})}
@@ -364,13 +368,16 @@ func (r *Runner) run(j *Job) {
 			case <-time.After(backoff):
 			case <-ctx.Done():
 				// Cancelled mid-backoff: the checkpoints written before
-				// the failure are the drain state.
+				// the failure are the drain state. Wrap the sentinel in a
+				// *core.CancelledError naming them, exactly as an in-run
+				// cancellation would — callers unwrap one error shape on
+				// every cancellation path.
 				r.mu.Lock()
 				if hasCheckpoints(j.Budget.CheckpointDir) {
 					r.emit(obs.TypeJobCheckpointed, j)
 				}
 				r.mu.Unlock()
-				r.finish(j, StateCancelled, nil, cancelCause(ctx))
+				r.finish(j, StateCancelled, nil, cancelledError(ctx, j.Budget.CheckpointDir))
 				return
 			}
 		}
@@ -384,6 +391,18 @@ func cancelCause(ctx context.Context) error {
 		return core.ErrDeadline
 	}
 	return core.ErrCancelled
+}
+
+// cancelledError builds the *core.CancelledError for a job cancelled
+// outside a learning run (mid-backoff), mirroring the error the drivers
+// return from an in-run cancellation: same unwrap chain, and the durable
+// checkpoint files listed when the directory holds any.
+func cancelledError(ctx context.Context, dir string) error {
+	return &core.CancelledError{
+		Cause:         cancelCause(ctx),
+		CheckpointDir: dir,
+		Checkpoints:   durableCheckpoints(dir),
+	}
 }
 
 // finish moves a job to its terminal state, releases its capacity, and
@@ -402,7 +421,7 @@ func (r *Runner) finish(j *Job, st State, out *core.Output, err error) {
 		r.emit(obs.TypeJobDone, j)
 		r.count("jobs_done_total", "jobs completed with a learned network", 1)
 	case StateCancelled:
-		r.emit(obs.TypeJobFailed, j)
+		r.emit(obs.TypeJobCancelled, j)
 		r.count("jobs_cancelled_total", "jobs stopped by deadline or drain", 1)
 	default:
 		r.emit(obs.TypeJobFailed, j)
@@ -421,6 +440,7 @@ func (r *Runner) finish(j *Job, st State, out *core.Output, err error) {
 // call once; subsequent Submits return ErrClosed.
 func (r *Runner) Drain() []Report {
 	r.mu.Lock()
+	r.closed = true
 	r.draining = true
 	for _, j := range r.queue {
 		j.state = StateFailed
@@ -445,9 +465,12 @@ func (r *Runner) Drain() []Report {
 
 // Close stops admission of new jobs and waits for every submitted job —
 // queued and running — to finish normally (no cancellation), returning the
-// reports in submission order.
+// reports in submission order. Admission closes immediately: a Submit
+// racing Close returns ErrClosed rather than being accepted during the
+// wait (which could otherwise starve Close indefinitely).
 func (r *Runner) Close() []Report {
 	r.mu.Lock()
+	r.closed = true
 	for len(r.queue) > 0 || r.running > 0 {
 		r.cond.Wait()
 	}
@@ -510,17 +533,25 @@ func (r *Runner) gauges() {
 // hasCheckpoints reports whether dir holds at least one durable (non-temp)
 // checkpoint file.
 func hasCheckpoints(dir string) bool {
+	return len(durableCheckpoints(dir)) > 0
+}
+
+// durableCheckpoints lists the durable (non-temp) checkpoint files in dir,
+// sorted by name (os.ReadDir order) — the resume inputs a cancelled job
+// reports through its *core.CancelledError.
+func durableCheckpoints(dir string) []string {
 	if dir == "" {
-		return false
+		return nil
 	}
 	ents, err := os.ReadDir(dir)
 	if err != nil {
-		return false
+		return nil
 	}
+	var names []string
 	for _, e := range ents {
 		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".tmp") {
-			return true
+			names = append(names, e.Name())
 		}
 	}
-	return false
+	return names
 }

@@ -3,6 +3,7 @@ package jobs
 import (
 	"errors"
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -289,6 +290,141 @@ func TestDrainUnderFault(t *testing.T) {
 				t.Fatalf("post-drain Submit got %v, want ErrClosed", err)
 			}
 		})
+	}
+}
+
+// TestCancelEventMetricAgreement: a cancelled job emits job.cancelled —
+// not job.failed — so the event stream agrees with jobs_cancelled_total.
+func TestCancelEventMetricAgreement(t *testing.T) {
+	d, opt, _ := fixture(t)
+	rec := obs.NewRecorder(0)
+	reg := obs.NewRegistry()
+	r := New(Config{MaxJobs: 1, Hooks: obs.NewHooks(rec, reg)})
+	j, err := r.Submit(Spec{Name: "deadline", Ranks: 1, Data: d, Options: opt},
+		Budget{Deadline: time.Millisecond, CheckpointDir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, jerr := j.Wait(); !errors.Is(jerr, core.ErrDeadline) {
+		t.Fatalf("got %v, want ErrDeadline", jerr)
+	}
+	if j.State() != StateCancelled {
+		t.Fatalf("state %v, want cancelled", j.State())
+	}
+	evs := rec.Events()
+	if err := obs.Validate(evs); err != nil {
+		t.Fatalf("event stream invalid: %v", err)
+	}
+	cancelled, failed := 0, 0
+	for _, ev := range evs {
+		switch ev.Type {
+		case obs.TypeJobCancelled:
+			cancelled++
+		case obs.TypeJobFailed:
+			failed++
+		}
+	}
+	if cancelled != 1 || failed != 0 {
+		t.Fatalf("saw %d job.cancelled and %d job.failed events, want 1 and 0", cancelled, failed)
+	}
+	if got := reg.Counter("jobs_cancelled_total", "", "runner", "jobs").Value(); got != int64(cancelled) {
+		t.Fatalf("jobs_cancelled_total = %d disagrees with %d job.cancelled events", got, cancelled)
+	}
+	if got := reg.Counter("jobs_failed_total", "", "runner", "jobs").Value(); got != 0 {
+		t.Fatalf("jobs_failed_total = %d, want 0", got)
+	}
+	r.Drain()
+}
+
+// TestMidBackoffCancelWrapsCancelledError: a drain landing while the job
+// sits in retry backoff must surface the same *core.CancelledError shape as
+// an in-run cancellation — naming the checkpoint directory — so callers
+// using errors.As see every cancellation path uniformly.
+func TestMidBackoffCancelWrapsCancelledError(t *testing.T) {
+	d, opt, want := fixture(t)
+	dir := t.TempDir()
+	// A long backoff pins the job mid-backoff after its injected crash.
+	r := New(Config{MaxJobs: 1, RetryBase: time.Hour})
+	injected := opt
+	injected.Inject = &core.FaultSpec{Task: core.TaskGaneSH, Rank: 0}
+	j, err := r.Submit(Spec{Name: "backoff", Ranks: 2, Data: d, Options: injected},
+		Budget{MaxRestarts: 1, CheckpointDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first restart to be charged — the job is then in (or
+	// entering) its hour-long backoff sleep.
+	deadline := time.Now().Add(30 * time.Second)
+	for j.Restarts() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job never reached its retry backoff")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	r.Drain()
+	_, jerr := j.Wait()
+	var ce *core.CancelledError
+	if !errors.As(jerr, &ce) {
+		t.Fatalf("mid-backoff cancellation returned %v (%T), want *core.CancelledError", jerr, jerr)
+	}
+	if ce.CheckpointDir != dir {
+		t.Fatalf("CancelledError names checkpoint dir %q, want %q", ce.CheckpointDir, dir)
+	}
+	if len(ce.Checkpoints) == 0 {
+		t.Fatal("CancelledError lists no durable checkpoints, but the GaneSH checkpoint was written before the crash")
+	}
+	resumed := opt
+	resumed.CheckpointDir = dir
+	got, err := core.LearnParallel(2, d, resumed)
+	if err != nil {
+		t.Fatalf("resume from the reported checkpoint failed: %v", err)
+	}
+	if !result.Equal(got.Network, want.Network) {
+		t.Fatal("resumed network differs from the uninterrupted run")
+	}
+}
+
+// TestSubmitDuringCloseReturnsErrClosed: Close documents that it stops
+// admission — a Submit racing the Close wait must get ErrClosed immediately
+// instead of being accepted (and potentially starving Close forever).
+// Exercised under -race by `make race`.
+func TestSubmitDuringCloseReturnsErrClosed(t *testing.T) {
+	d, opt, _ := fixture(t)
+	r := New(Config{MaxJobs: 1})
+	if _, err := r.Submit(Spec{Name: "running", Ranks: 1, Data: d, Options: opt}, Budget{}); err != nil {
+		t.Fatal(err)
+	}
+	closeDone := make(chan []Report, 1)
+	go func() { closeDone <- r.Close() }()
+	// Wait until Close has closed admission (it may still be waiting on
+	// the running job).
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		r.mu.Lock()
+		closed := r.closed
+		r.mu.Unlock()
+		if closed {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("Close never closed admission")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := r.Submit(Spec{Ranks: 1, Data: d, Options: opt}, Budget{}); !errors.Is(err, ErrClosed) {
+				t.Errorf("Submit during Close got %v, want ErrClosed", err)
+			}
+		}()
+	}
+	wg.Wait() // all Submits rejected without waiting for Close to finish
+	reports := <-closeDone
+	if len(reports) != 1 || reports[0].State != StateDone {
+		t.Fatalf("reports %v, want the one pre-Close job done", reports)
 	}
 }
 

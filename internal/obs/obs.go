@@ -73,6 +73,7 @@ const (
 	TypeJobCheckpointed = "job.checkpointed" // payload Job
 	TypeJobDone         = "job.done"         // payload Job
 	TypeJobFailed       = "job.failed"       // payload Job
+	TypeJobCancelled    = "job.cancelled"    // payload Job (deadline or drain; agrees with jobs_cancelled_total)
 )
 
 // RunInfo describes a whole run (run.start / run.end).
@@ -229,6 +230,7 @@ var typePayload = map[string]func(*Event) bool{
 	TypeJobCheckpointed: func(e *Event) bool { return e.Job != nil },
 	TypeJobDone:         func(e *Event) bool { return e.Job != nil },
 	TypeJobFailed:       func(e *Event) bool { return e.Job != nil },
+	TypeJobCancelled:    func(e *Event) bool { return e.Job != nil },
 }
 
 // Validate checks an event stream against the schema: known types, the

@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"parsimone/internal/core"
+	"parsimone/internal/dataset"
+	"parsimone/internal/jobs"
+	"parsimone/internal/obs"
+	"parsimone/internal/result"
+	"parsimone/internal/splits"
+	"parsimone/internal/synth"
+)
+
+// fixture builds a small learning problem as the server would see it (TSV
+// round-tripped) plus its reference network: the options below mirror what
+// buildJob derives from the request fields used throughout these tests
+// (seed 3, updates 1, splits 2, max_steps 16).
+func fixture(t *testing.T) (string, *dataset.Data, *core.Output) {
+	t.Helper()
+	d0, _, err := synth.Generate(synth.Config{
+		N: 48, M: 24, Regulators: 4, Modules: 4, Noise: 0.3, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := d0.WriteTSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tsv := buf.String()
+	d, err := dataset.ReadTSV(strings.NewReader(tsv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = 3
+	opt.Ganesh.Updates = 1
+	opt.Module.Splits = splits.Params{NumSplits: 2, MaxSteps: 16}
+	want, err := core.Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tsv, d, want
+}
+
+// submitBody is the standard request the fixture's reference corresponds to.
+func submitBody(tsv string) string {
+	req := JobRequest{
+		Name:     "t",
+		Dataset:  DatasetRequest{TSV: tsv},
+		Ranks:    1,
+		Seed:     3,
+		Updates:  1,
+		Splits:   2,
+		MaxSteps: 16,
+	}
+	b, _ := json.Marshal(req)
+	return string(b)
+}
+
+// call routes one request through the server and returns the response.
+func call(t *testing.T, s *Server, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *strings.Reader
+	if body == "" {
+		rd = strings.NewReader("")
+	} else {
+		rd = strings.NewReader(body)
+	}
+	req := httptest.NewRequest(method, target, rd)
+	w := httptest.NewRecorder()
+	s.ServeHTTP(w, req)
+	return w
+}
+
+// decode unmarshals a JSON response body.
+func decode[T any](t *testing.T, w *httptest.ResponseRecorder) T {
+	t.Helper()
+	var v T
+	if err := json.Unmarshal(w.Body.Bytes(), &v); err != nil {
+		t.Fatalf("bad response body %q: %v", w.Body.String(), err)
+	}
+	return v
+}
+
+// waitDone long-polls the status endpoint until the job is terminal.
+func waitDone(t *testing.T, s *Server, id int) JobStatus {
+	t.Helper()
+	for i := 0; i < 600; i++ {
+		w := call(t, s, "GET", fmt.Sprintf("/api/v1/jobs/%d?wait_ms=1000", id), "")
+		st := decode[JobStatus](t, w)
+		switch st.State {
+		case "done", "failed", "cancelled":
+			return st
+		}
+	}
+	t.Fatalf("job %d never reached a terminal state", id)
+	return JobStatus{}
+}
+
+// TestSubmitWaitFetchRoundTrip: POST a learn job, long-poll it done, and
+// fetch the network in all three formats, the module list, the per-module
+// regulator scores, the event stream, and a prediction — the full surface
+// against one run.
+func TestSubmitWaitFetchRoundTrip(t *testing.T) {
+	tsv, d, want := fixture(t)
+	s := NewServer(Config{Jobs: jobs.Config{MaxJobs: 2}})
+	defer s.Close()
+
+	w := call(t, s, "POST", "/api/v1/jobs", submitBody(tsv))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: code %d body %s", w.Code, w.Body)
+	}
+	st := decode[JobStatus](t, w)
+	if st.ID != 0 || st.Cached {
+		t.Fatalf("submit status: %+v", st)
+	}
+
+	st = waitDone(t, s, 0)
+	if st.State != "done" || st.Modules == 0 || st.Error != "" {
+		t.Fatalf("terminal status: %+v", st)
+	}
+
+	// The network round-trips bit-identically in every format.
+	readers := map[string]func(*bytes.Reader) (*result.Network, error){
+		"json":   func(r *bytes.Reader) (*result.Network, error) { return result.ReadJSON(r) },
+		"xml":    func(r *bytes.Reader) (*result.Network, error) { return result.ReadXML(r) },
+		"binary": func(r *bytes.Reader) (*result.Network, error) { return result.ReadBinary(r) },
+	}
+	for format, read := range readers {
+		w = call(t, s, "GET", "/api/v1/jobs/0/network?format="+format, "")
+		if w.Code != http.StatusOK {
+			t.Fatalf("network %s: code %d body %s", format, w.Code, w.Body)
+		}
+		got, err := read(bytes.NewReader(w.Body.Bytes()))
+		if err != nil {
+			t.Fatalf("network %s: %v", format, err)
+		}
+		if !result.Equal(got, want.Network) {
+			t.Fatalf("network %s differs from the reference", format)
+		}
+	}
+
+	// Module list and per-module lookup with regulator scores.
+	w = call(t, s, "GET", "/api/v1/jobs/0/modules", "")
+	mods := decode[[]moduleSummary](t, w)
+	if len(mods) != len(want.Network.Modules) {
+		t.Fatalf("module list: %d entries, want %d", len(mods), len(want.Network.Modules))
+	}
+	w = call(t, s, "GET", fmt.Sprintf("/api/v1/jobs/0/modules/%d", mods[0].ID), "")
+	mod := decode[result.Module](t, w)
+	if mod.ID != mods[0].ID || len(mod.Parents) != mods[0].Parents {
+		t.Fatalf("module lookup: %+v vs summary %+v", mod, mods[0])
+	}
+
+	// The job's lifecycle event stream, as JSONL.
+	w = call(t, s, "GET", "/api/v1/jobs/0/events", "")
+	evs, err := obs.ReadJSONL(w.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{}
+	for _, ev := range evs {
+		if ev.Job == nil {
+			t.Fatalf("event without job payload: %+v", ev)
+		}
+		seen[ev.Type] = true
+	}
+	for _, typ := range []string{obs.TypeJobQueued, obs.TypeJobAdmitted, obs.TypeJobRunning, obs.TypeJobDone} {
+		if !seen[typ] {
+			t.Fatalf("event stream is missing %s (got %v)", typ, seen)
+		}
+	}
+
+	// A prediction on the first training observation: one (mean, variance)
+	// per module.
+	obsVec := make([]float64, d.N)
+	for i := 0; i < d.N; i++ {
+		obsVec[i] = d.At(i, 0)
+	}
+	body, _ := json.Marshal(PredictRequest{Observation: obsVec})
+	w = call(t, s, "POST", "/api/v1/jobs/0/predict", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("predict: code %d body %s", w.Code, w.Body)
+	}
+	pr := decode[PredictResponse](t, w)
+	if len(pr.Predictions) != len(want.Network.Modules) {
+		t.Fatalf("predict: %d predictions, want %d", len(pr.Predictions), len(want.Network.Modules))
+	}
+	for _, p := range pr.Predictions {
+		if p.Variance <= 0 {
+			t.Fatalf("prediction %+v has non-positive variance", p)
+		}
+	}
+}
+
+// TestCacheHitBitIdenticalNoRelearn: a repeated identical submission — even
+// at a different p×W shape — is served from the exact result cache with a
+// byte-identical network and no second learning run.
+func TestCacheHitBitIdenticalNoRelearn(t *testing.T) {
+	tsv, _, _ := fixture(t)
+	s := NewServer(Config{Jobs: jobs.Config{MaxJobs: 2}})
+	defer s.Close()
+
+	w := call(t, s, "POST", "/api/v1/jobs", submitBody(tsv))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: code %d body %s", w.Code, w.Body)
+	}
+	waitDone(t, s, 0)
+	first := call(t, s, "GET", "/api/v1/jobs/0/network?format=binary", "")
+
+	// Same learning problem, different execution shape: Workers is
+	// result-invisible, so the key is identical and the cache answers.
+	var req JobRequest
+	json.Unmarshal([]byte(submitBody(tsv)), &req) //nolint:errcheck
+	req.Workers = 2
+	body, _ := json.Marshal(req)
+	w = call(t, s, "POST", "/api/v1/jobs", string(body))
+	if w.Code != http.StatusOK {
+		t.Fatalf("resubmit: code %d, want 200 (cache hit), body %s", w.Code, w.Body)
+	}
+	st := decode[JobStatus](t, w)
+	if !st.Cached || st.State != "done" || st.ID != 1 {
+		t.Fatalf("resubmit status: %+v", st)
+	}
+
+	second := call(t, s, "GET", "/api/v1/jobs/1/network?format=binary", "")
+	if !bytes.Equal(first.Body.Bytes(), second.Body.Bytes()) {
+		t.Fatal("cached network is not byte-identical to the original")
+	}
+
+	// No second learning run: exactly one job ever reached the runner.
+	queued := 0
+	for _, ev := range s.rec.Events() {
+		if ev.Type == obs.TypeJobQueued {
+			queued++
+		}
+	}
+	if queued != 1 {
+		t.Fatalf("%d jobs reached the runner, want 1", queued)
+	}
+	if hits := s.reg.Counter("serve_cache_hits_total", "", "server", "serve").Value(); hits != 1 {
+		t.Fatalf("serve_cache_hits_total = %d, want 1", hits)
+	}
+}
+
+// TestDrainRejectsAndReportsResumePaths: draining a loaded server 503s new
+// submissions, cancels the running job to its durable checkpoints, surfaces
+// the resume path in both the drain reports and the job status — and a
+// fresh server over the same checkpoint root resumes the submission to the
+// bit-identical network.
+func TestDrainRejectsAndReportsResumePaths(t *testing.T) {
+	tsv, _, want := fixture(t)
+	root := t.TempDir()
+	s := NewServer(Config{Jobs: jobs.Config{MaxJobs: 1}, CheckpointRoot: root})
+
+	// A longer configuration, so the run is still in flight after its
+	// first checkpoint lands.
+	var req JobRequest
+	json.Unmarshal([]byte(submitBody(tsv)), &req) //nolint:errcheck
+	req.GaneshRuns = 2
+	req.Trees = 2
+	body, _ := json.Marshal(req)
+	w := call(t, s, "POST", "/api/v1/jobs", string(body))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: code %d body %s", w.Code, w.Body)
+	}
+	st := decode[JobStatus](t, w)
+	ckptDir := filepath.Join(root, st.CacheKey[:16])
+
+	// Wait for durable checkpoint state, then drain mid-run.
+	deadline := time.After(60 * time.Second)
+	for {
+		if ents, err := os.ReadDir(ckptDir); err == nil && len(ents) > 0 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("no checkpoint appeared")
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	reports := s.Drain()
+
+	if len(reports) != 1 || reports[0].State != jobs.StateCancelled {
+		t.Fatalf("drain reports: %+v", reports)
+	}
+	if reports[0].Checkpoint != ckptDir {
+		t.Fatalf("drain report checkpoint %q, want %q", reports[0].Checkpoint, ckptDir)
+	}
+
+	// New submissions are rejected while draining.
+	w = call(t, s, "POST", "/api/v1/jobs", submitBody(tsv))
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: code %d, want 503", w.Code)
+	}
+	w = call(t, s, "GET", "/healthz", "")
+	if h := decode[map[string]string](t, w); h["status"] != "draining" {
+		t.Fatalf("healthz: %v", h)
+	}
+
+	// The job status maps the *core.CancelledError onto the resume path.
+	st = waitDone(t, s, 0)
+	if st.State != "cancelled" || st.Checkpoint != ckptDir || !st.Resumable {
+		t.Fatalf("cancelled status: %+v", st)
+	}
+
+	// A fresh server over the same root content-addresses the same
+	// checkpoint directory and resumes the run bit-identically.
+	s2 := NewServer(Config{Jobs: jobs.Config{MaxJobs: 1}, CheckpointRoot: root})
+	defer s2.Close()
+	w = call(t, s2, "POST", "/api/v1/jobs", string(body))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("resubmit: code %d body %s", w.Code, w.Body)
+	}
+	if st = waitDone(t, s2, 0); st.State != "done" {
+		t.Fatalf("resumed job: %+v", st)
+	}
+	w = call(t, s2, "GET", "/api/v1/jobs/0/network?format=json", "")
+	got, err := result.ReadJSON(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := core.DefaultOptions()
+	opt.Seed = 3
+	opt.Ganesh.Updates = 1
+	opt.GaneshRuns = 2
+	opt.Module.Tree.Updates = 2 + opt.Module.Tree.Burnin
+	opt.Module.Splits = splits.Params{NumSplits: 2, MaxSteps: 16}
+	d, err := dataset.ReadTSV(strings.NewReader(tsv))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := core.Learn(d, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(got, ref.Network) {
+		t.Fatal("resumed network differs from an uninterrupted run")
+	}
+	_ = want
+}
+
+// TestBadRequests covers the request-validation edges: malformed dataset
+// choices, unknown enum values, path escapes, and unknown jobs.
+func TestBadRequests(t *testing.T) {
+	tsv, _, _ := fixture(t)
+	s := NewServer(Config{Jobs: jobs.Config{MaxJobs: 1}})
+	defer s.Close()
+
+	post := func(mutate func(*JobRequest)) *httptest.ResponseRecorder {
+		var req JobRequest
+		json.Unmarshal([]byte(submitBody(tsv)), &req) //nolint:errcheck
+		mutate(&req)
+		b, _ := json.Marshal(req)
+		return call(t, s, "POST", "/api/v1/jobs", string(b))
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*JobRequest)
+	}{
+		{"no dataset", func(r *JobRequest) { r.Dataset = DatasetRequest{} }},
+		{"both tsv and path", func(r *JobRequest) { r.Dataset.Path = "x.tsv" }},
+		{"path without data dir", func(r *JobRequest) { r.Dataset = DatasetRequest{Path: "x.tsv"} }},
+		{"bad dist", func(r *JobRequest) { r.Dist = "chaotic" }},
+		{"bad checkpoint format", func(r *JobRequest) { r.CheckpointFormat = "yaml" }},
+		{"unknown regulator", func(r *JobRequest) { r.Regulators = []string{"nope"} }},
+		{"negative restarts", func(r *JobRequest) { r.MaxRestarts = -1 }},
+	}
+	for _, tc := range cases {
+		if w := post(tc.mutate); w.Code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400 (body %s)", tc.name, w.Code, w.Body)
+		}
+	}
+
+	if w := call(t, s, "GET", "/api/v1/jobs/99", ""); w.Code != http.StatusNotFound {
+		t.Errorf("unknown job: code %d, want 404", w.Code)
+	}
+	if w := call(t, s, "GET", "/api/v1/jobs/notanint", ""); w.Code != http.StatusBadRequest {
+		t.Errorf("non-numeric id: code %d, want 400", w.Code)
+	}
+
+	// Path escapes are rejected even with a data dir configured.
+	s2 := NewServer(Config{Jobs: jobs.Config{MaxJobs: 1}, DataDir: t.TempDir()})
+	defer s2.Close()
+	var req JobRequest
+	req.Dataset = DatasetRequest{Path: "../etc/passwd"}
+	b, _ := json.Marshal(req)
+	if w := call(t, s2, "POST", "/api/v1/jobs", string(b)); w.Code != http.StatusBadRequest {
+		t.Errorf("path escape: code %d, want 400", w.Code)
+	}
+}
+
+// TestServerSidePathAndMetrics: a dataset loaded by server-side path learns
+// the same network as the inline upload, and /metrics exports the runner
+// and server series in Prometheus text format.
+func TestServerSidePathAndMetrics(t *testing.T) {
+	tsv, _, want := fixture(t)
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "expr.tsv"), []byte(tsv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := NewServer(Config{Jobs: jobs.Config{MaxJobs: 1}, DataDir: dir})
+	defer s.Close()
+
+	var req JobRequest
+	json.Unmarshal([]byte(submitBody(tsv)), &req) //nolint:errcheck
+	req.Dataset = DatasetRequest{Path: "expr.tsv"}
+	b, _ := json.Marshal(req)
+	w := call(t, s, "POST", "/api/v1/jobs", string(b))
+	if w.Code != http.StatusAccepted {
+		t.Fatalf("submit: code %d body %s", w.Code, w.Body)
+	}
+	waitDone(t, s, 0)
+	w = call(t, s, "GET", "/api/v1/jobs/0/network?format=json", "")
+	got, err := result.ReadJSON(bytes.NewReader(w.Body.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !result.Equal(got, want.Network) {
+		t.Fatal("path-loaded dataset learned a different network")
+	}
+
+	w = call(t, s, "GET", "/metrics", "")
+	text := w.Body.String()
+	for _, series := range []string{"jobs_done_total", "serve_cache_misses_total", "serve_requests_total"} {
+		if !strings.Contains(text, series) {
+			t.Errorf("/metrics is missing %s", series)
+		}
+	}
+}
