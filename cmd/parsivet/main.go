@@ -1,5 +1,5 @@
 // Command parsivet is the repo's determinism linter: a multichecker of
-// six analyzers that statically enforce the invariants the reproduction's
+// nine analyzers that statically enforce the invariants the reproduction's
 // bit-identity guarantee rests on (see internal/analysis):
 //
 //	maporder    — no unordered map iteration in deterministic packages
@@ -8,14 +8,52 @@
 //	commsym     — no rank-guarded collectives, no dropped comm/checkpoint errors
 //	seqcount    — no ad-hoc goroutines bypassing internal/pool
 //	scorekernel — no direct math.Lgamma outside internal/score's LogML kernels
+//	detreach    — no deterministic entry point transitively reaches a
+//	              wallclock/PRNG/env sink (whole-program, call-graph based)
+//	commreach   — no rank-guarded call transitively reaches a comm collective
+//	errsink     — no comm/wire/checkpoint error discarded along an
+//	              interprocedural propagation chain
+//
+// The first six are per-package syntactic checks; the last three build a
+// static call graph over every loaded package (internal/analysis/callgraph)
+// and propagate taint across package boundaries, so their findings carry
+// the full call path from entry point to sink.
 //
 // Usage:
 //
-//	parsivet [-json] [packages]
+//	parsivet [-json] [-fast] [-strict-suppressions] [-time] [packages]
 //
 // Packages default to ./... . Exit status is 0 when clean, 1 when findings
 // remain, 2 on a load or usage error. Findings are silenced per site with
-// //parsivet:<keyword> comments (see internal/analysis for the convention).
+// //parsivet:<keyword> comments on the flagged line or the line above;
+// several keywords share one comment separated by commas
+// (see internal/analysis for the convention).
+//
+// -fast runs only the per-package syntactic analyzers, skipping call-graph
+// construction — a sub-second pre-commit loop. It cannot be combined with
+// -strict-suppressions: stale detection over a subset of analyzers would
+// misreport the whole-program keywords as unknown.
+//
+// -strict-suppressions additionally flags every //parsivet: comment that no
+// analyzer consulted during the run — stale annotations that outlived the
+// code they audited — and comments naming unknown keywords. These findings
+// carry the analyzer name "suppressions" and cannot themselves be
+// suppressed.
+//
+// -time prints the lint wall time to stderr when the run completes.
+//
+// With -json, findings are a JSON array on stdout; each element is
+//
+//	{
+//	  "file":     "internal/ganesh/ganesh.go",  // path as loaded
+//	  "line":     42,                           // 1-based
+//	  "column":   7,                            // 1-based, in bytes
+//	  "analyzer": "maporder",                   // which check fired
+//	  "suppress": "ordered",                    // keyword that would silence it (omitted when none)
+//	  "message":  "map iteration over ..."      // human-readable finding
+//	}
+//
+// sorted by file, line, column, then analyzer. A clean run emits [].
 //
 // parsivet is wired into `make lint` (and thence the tier1 gate) as a
 // standalone driver rather than a `go vet -vettool`: the vettool protocol
@@ -28,9 +66,13 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"parsimone/internal/analysis"
+	"parsimone/internal/analysis/commreach"
 	"parsimone/internal/analysis/commsym"
+	"parsimone/internal/analysis/detreach"
+	"parsimone/internal/analysis/errsink"
 	"parsimone/internal/analysis/floateq"
 	"parsimone/internal/analysis/maporder"
 	"parsimone/internal/analysis/prngonly"
@@ -45,6 +87,9 @@ var analyzers = []*analysis.Analyzer{
 	commsym.Analyzer,
 	seqcount.Analyzer,
 	scorekernel.Analyzer,
+	detreach.Analyzer,
+	commreach.Analyzer,
+	errsink.Analyzer,
 }
 
 func main() {
@@ -54,25 +99,53 @@ func main() {
 func run(args []string) int {
 	fs := flag.NewFlagSet("parsivet", flag.ContinueOnError)
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout")
+	fast := fs.Bool("fast", false, "run only the per-package syntactic analyzers (skips call-graph checks)")
+	strict := fs.Bool("strict-suppressions", false, "also flag stale and unknown //parsivet: comments")
+	timed := fs.Bool("time", false, "print lint wall time to stderr")
 	fs.Usage = func() {
-		fmt.Fprintln(fs.Output(), "usage: parsivet [-json] [packages]")
+		fmt.Fprintln(fs.Output(), "usage: parsivet [-json] [-fast] [-strict-suppressions] [-time] [packages]")
 		fs.PrintDefaults()
 		fmt.Fprintln(fs.Output(), "\nanalyzers:")
 		for _, a := range analyzers {
-			fmt.Fprintf(fs.Output(), "  %-9s %s (suppress: //parsivet:%s)\n", a.Name, a.Doc, a.Suppress)
+			fmt.Fprintf(fs.Output(), "  %-11s %s (suppress: //parsivet:%s)\n", a.Name, a.Doc, a.Suppress)
 		}
 	}
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *fast && *strict {
+		fmt.Fprintln(os.Stderr, "parsivet: -fast and -strict-suppressions cannot be combined: stale detection needs every analyzer's keywords in play")
 		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	diags, err := analysis.Run(patterns, analyzers)
+	active := analyzers
+	if *fast {
+		active = nil
+		for _, a := range analyzers {
+			if a.Run != nil {
+				active = append(active, a)
+			}
+		}
+	}
+	//parsivet:wallclock — lint harness timing for the -time flag, reported to the operator, never part of analysis results
+	start := time.Now()
+	var diags []analysis.Diagnostic
+	var err error
+	if *strict {
+		diags, err = analysis.RunStrict(patterns, active)
+	} else {
+		diags, err = analysis.Run(patterns, active)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return 2
+	}
+	if *timed {
+		//parsivet:wallclock — same harness timing readout
+		fmt.Fprintf(os.Stderr, "parsivet: %d finding(s) in %.2fs\n", len(diags), time.Since(start).Seconds())
 	}
 	if *jsonOut {
 		if err := analysis.WriteJSON(os.Stdout, diags); err != nil {

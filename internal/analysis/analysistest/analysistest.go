@@ -1,4 +1,4 @@
-// Package analysistest runs one analyzer over a testdata package and
+// Package analysistest runs one analyzer over testdata packages and
 // checks its findings against `// want "regexp"` expectations, mirroring
 // golang.org/x/tools/go/analysis/analysistest on the standard library only.
 //
@@ -11,6 +11,11 @@
 // a want comment must produce no finding — including lines silenced by the
 // //parsivet suppression convention, which the harness applies exactly as
 // the parsivet driver does.
+//
+// RunPackages loads several testdata packages into one loader — in the
+// given order, so later packages may import earlier ones by bare name —
+// and analyzes them as one program. The interprocedural analyzers use it
+// to seed call chains that cross package boundaries.
 package analysistest
 
 import (
@@ -34,27 +39,42 @@ var (
 // findings and want expectations as test errors.
 func Run(t *testing.T, a *analysis.Analyzer, pkg string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", pkg)
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("reading %s: %v", dir, err)
-	}
+	RunPackages(t, a, pkg)
+}
+
+// RunPackages analyzes the testdata packages as one program, loading them
+// in order through a shared loader so later packages may import earlier
+// ones, and checks the findings of every file against its want comments.
+func RunPackages(t *testing.T, a *analysis.Analyzer, pkgNames ...string) {
+	t.Helper()
+	loader := analysis.NewLoader()
+	var pkgs []*analysis.Package
 	var files []string
-	for _, e := range entries {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
-			files = append(files, filepath.Join(dir, e.Name()))
+	for _, pkg := range pkgNames {
+		dir := filepath.Join("testdata", "src", pkg)
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatalf("reading %s: %v", dir, err)
 		}
-	}
-	sort.Strings(files)
-	if len(files) == 0 {
-		t.Fatalf("no Go files under %s", dir)
+		var pkgFiles []string
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				pkgFiles = append(pkgFiles, filepath.Join(dir, e.Name()))
+			}
+		}
+		sort.Strings(pkgFiles)
+		if len(pkgFiles) == 0 {
+			t.Fatalf("no Go files under %s", dir)
+		}
+		p, err := loader.CheckFiles(pkg, pkgFiles)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs = append(pkgs, p)
+		files = append(files, pkgFiles...)
 	}
 
-	p, err := analysis.NewLoader().CheckFiles(pkg, files)
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags, err := analysis.Analyze(p, []*analysis.Analyzer{a})
+	diags, err := analysis.AnalyzeProgram(analysis.NewProgram(pkgs), []*analysis.Analyzer{a})
 	if err != nil {
 		t.Fatal(err)
 	}

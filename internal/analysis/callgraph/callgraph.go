@@ -1,0 +1,428 @@
+// Package callgraph builds a static call graph over the type-checked
+// packages of one analysis.Program — the base layer of the interprocedural
+// parsivet analyzers (detreach, commreach, errsink). The per-package
+// analyzers see one function body at a time; the invariants they guard are
+// properties of call *chains* (a wallclock read two helpers down forks the
+// deterministic schedule exactly as a direct one does), so this package
+// provides the chains.
+//
+// Nodes are declared functions and methods plus function literals; edges
+// are recorded in source order, so every traversal is deterministic. Three
+// edge kinds approximate Go's call semantics conservatively, without a
+// pointer analysis:
+//
+//   - Static: a call whose callee resolves through go/types — a package
+//     function, a method on a concrete receiver type (generic
+//     instantiations are folded onto their origin), or an
+//     immediately-invoked function literal.
+//   - Ref: a reference to a function, method, or literal outside call
+//     position (passed as an argument, stored in a variable or field,
+//     returned). The enclosing function is treated as though it may invoke
+//     the referenced function: whoever receives the value can call it, and
+//     the reference site is the only place the graph can anchor that
+//     possibility. This is what connects closures handed to pool.Run or
+//     carried in pipeline structs back to the function that built them.
+//   - Dynamic: a call through a function-typed variable, parameter, field,
+//     or an interface method. The target is unknown; the edge is recorded
+//     (with the abstract method as Callee for interface calls, nil
+//     otherwise) so analyzers can see that a dynamic call happens, but
+//     Reach never propagates through it — the matching Ref edge at the
+//     value's creation site carries the taint instead.
+//
+// Bodies exist only for the packages under analysis; dependency functions
+// (time.Now, os.Getenv, the standard library at large) are leaf nodes.
+// Reachability that would continue inside a dependency's body is therefore
+// invisible — sinks must be named at the dependency's surface.
+package callgraph
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"parsimone/internal/analysis"
+)
+
+// Kind classifies one call-graph edge.
+type Kind uint8
+
+const (
+	// Static is a direct call with a statically resolved callee.
+	Static Kind = iota
+	// Ref is a function value escaping at its creation or reference site.
+	Ref
+	// Dynamic is a call whose target cannot be resolved statically.
+	Dynamic
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Static:
+		return "static"
+	case Ref:
+		return "ref"
+	default:
+		return "dynamic"
+	}
+}
+
+// Edge is one outgoing call, reference, or dynamic-call record.
+type Edge struct {
+	Kind Kind
+	// Site is the call or reference position, the anchor for //parsivet
+	// suppressions along a reported chain.
+	Site token.Pos
+	// Callee is nil for Dynamic edges through function-typed values.
+	Callee *Node
+}
+
+// Node is one function: a declared function or method (Func set), a
+// function literal (Lit set), or a bodyless dependency leaf.
+type Node struct {
+	Func *types.Func  // declared function or method; nil for literals
+	Lit  *ast.FuncLit // function literal; nil for declared functions
+	Pkg  *types.Package
+	Sig  *types.Signature
+	Name string    // display name: "pkg.Func", "pkg.T.Method", "pkg.Func.func"
+	Pos  token.Pos // declaration position
+	Out  []Edge    // outgoing edges in source order
+}
+
+// Graph is the whole-program call graph.
+type Graph struct {
+	funcs map[*types.Func]*Node
+	lits  map[*ast.FuncLit]*Node
+	nodes []*Node // deterministic creation order
+}
+
+// Of returns prog's call graph, building it on first use and sharing it
+// across the interprocedural analyzers via Program.Memo.
+func Of(prog *analysis.Program) *Graph {
+	return prog.Memo("callgraph", func() any { return Build(prog) }).(*Graph)
+}
+
+// Build constructs the call graph over every package of prog. Packages,
+// files, and bodies are visited in loader order, so node and edge order is
+// a pure function of the source.
+func Build(prog *analysis.Program) *Graph {
+	g := &Graph{funcs: map[*types.Func]*Node{}, lits: map[*ast.FuncLit]*Node{}}
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				n := g.funcNode(fn)
+				if fd.Body != nil {
+					g.addBody(pkg.Info, n, fd.Body)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// NodeOf returns the node of a declared function or method, folding
+// generic instantiations onto their origin, or nil if fn is unknown.
+func (g *Graph) NodeOf(fn *types.Func) *Node {
+	if fn == nil {
+		return nil
+	}
+	return g.funcs[fn.Origin()]
+}
+
+// Nodes returns every node in deterministic source order.
+func (g *Graph) Nodes() []*Node { return g.nodes }
+
+// funcNode interns the node of a declared function or method.
+func (g *Graph) funcNode(fn *types.Func) *Node {
+	fn = fn.Origin()
+	if n, ok := g.funcs[fn]; ok {
+		return n
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	n := &Node{Func: fn, Pkg: fn.Pkg(), Sig: sig, Name: displayName(fn), Pos: fn.Pos()}
+	g.funcs[fn] = n
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// litNode interns the node of a function literal enclosed by parent.
+func (g *Graph) litNode(lit *ast.FuncLit, parent *Node, info *types.Info) *Node {
+	if n, ok := g.lits[lit]; ok {
+		return n
+	}
+	var sig *types.Signature
+	if tv, ok := info.Types[lit]; ok {
+		sig, _ = tv.Type.(*types.Signature)
+	}
+	n := &Node{Lit: lit, Pkg: parent.Pkg, Sig: sig, Name: parent.Name + ".func", Pos: lit.Pos()}
+	g.lits[lit] = n
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// displayName renders a compact qualified name for diagnostics:
+// pkg.Func for package functions, pkg.T.Method for methods.
+func displayName(fn *types.Func) string {
+	name := fn.Name()
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := types.Unalias(t).(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := types.Unalias(t).(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		name = pkg.Name() + "." + name
+	}
+	return name
+}
+
+// StaticCallee resolves call's callee to the function object it names, or
+// nil for calls through function-typed values. It sees through parentheses
+// and explicit generic instantiation (f[T](...)); interface-method callees
+// resolve to the abstract method object, which Build records as a Dynamic
+// edge.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.IndexExpr:
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		}
+	case *ast.IndexListExpr:
+		switch x := ast.Unparen(fun.X).(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		}
+	}
+	if id == nil {
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// addBody records the outgoing edges of n's body, interning nested
+// function literals as child nodes along the way.
+func (g *Graph) addBody(info *types.Info, n *Node, body ast.Node) {
+	// Pass one: identifiers in call position (so the reference pass skips
+	// them) and literals that are invoked where they stand.
+	callPos := map[*ast.Ident]bool{}
+	calledLits := map[*ast.FuncLit]bool{}
+	ast.Inspect(body, func(x ast.Node) bool {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			callPos[fun] = true
+		case *ast.SelectorExpr:
+			callPos[fun.Sel] = true
+		case *ast.IndexExpr:
+			switch x := ast.Unparen(fun.X).(type) {
+			case *ast.Ident:
+				callPos[x] = true
+			case *ast.SelectorExpr:
+				callPos[x.Sel] = true
+			}
+		case *ast.IndexListExpr:
+			switch x := ast.Unparen(fun.X).(type) {
+			case *ast.Ident:
+				callPos[x] = true
+			case *ast.SelectorExpr:
+				callPos[x.Sel] = true
+			}
+		case *ast.FuncLit:
+			calledLits[fun] = true
+		}
+		return true
+	})
+
+	// Pass two: edges in source order. Nested literals open their own node
+	// and consume their own subtree.
+	var walk func(nd ast.Node, cur *Node)
+	walk = func(nd ast.Node, cur *Node) {
+		ast.Inspect(nd, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.FuncLit:
+				child := g.litNode(x, cur, info)
+				kind := Ref
+				if calledLits[x] {
+					kind = Static
+				}
+				cur.Out = append(cur.Out, Edge{Kind: kind, Site: x.Pos(), Callee: child})
+				walk(x.Body, child)
+				return false
+			case *ast.CallExpr:
+				fun := ast.Unparen(x.Fun)
+				if _, ok := fun.(*ast.FuncLit); ok {
+					return true // edge added at the literal
+				}
+				if tv, ok := info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+					return true // conversion or builtin, not a call edge
+				}
+				if fn := StaticCallee(info, x); fn != nil {
+					kind := Static
+					if sig, ok := fn.Type().(*types.Signature); ok &&
+						sig.Recv() != nil && types.IsInterface(sig.Recv().Type()) {
+						kind = Dynamic
+					}
+					cur.Out = append(cur.Out, Edge{Kind: kind, Site: x.Pos(), Callee: g.funcNode(fn)})
+				} else {
+					cur.Out = append(cur.Out, Edge{Kind: Dynamic, Site: x.Pos()})
+				}
+				return true
+			case *ast.Ident:
+				if callPos[x] {
+					return true
+				}
+				if fn, ok := info.Uses[x].(*types.Func); ok {
+					cur.Out = append(cur.Out, Edge{Kind: Ref, Site: x.Pos(), Callee: g.funcNode(fn)})
+				}
+				return true
+			}
+			return true
+		})
+	}
+	walk(body, n)
+}
+
+// ReachOpts configures one sink-reachability computation.
+type ReachOpts struct {
+	// Sink marks the taint sources: functions whose callers become
+	// transitively tainted.
+	Sink func(*Node) bool
+	// SkipNode, when non-nil, stops taint from propagating into the given
+	// function: it is never marked reached and its callers never see taint
+	// through it. Used for the wallclock-exempt packages and for comm's own
+	// internals.
+	SkipNode func(*Node) bool
+	// SkipEdge, when non-nil, excludes one edge from propagation — the
+	// hook for //parsivet-audited call sites along a chain.
+	SkipEdge func(caller *Node, e Edge) bool
+	// SkipRefs excludes Ref edges: error-propagation chains (errsink)
+	// follow only real calls, while taint chains (detreach, commreach)
+	// follow escaping function values too.
+	SkipRefs bool
+}
+
+// Reach is the result of one backward reachability pass: for every
+// function that can reach a sink, the first hop of one deterministic
+// witness path (breadth-first, so the path is among the shortest; ties
+// break on source order).
+type Reach struct {
+	next map[*Node]Edge
+	sink map[*Node]bool
+}
+
+// Reach computes which functions transitively reach a sink under opts. The
+// propagation is a breadth-first traversal of reversed edges seeded with
+// the sinks in source order, so the result — including each witness path —
+// is deterministic.
+func (g *Graph) Reach(opts ReachOpts) *Reach {
+	type revEdge struct {
+		caller *Node
+		e      Edge
+	}
+	incoming := map[*Node][]revEdge{}
+	for _, n := range g.nodes {
+		if opts.SkipNode != nil && opts.SkipNode(n) {
+			continue
+		}
+		for _, e := range n.Out {
+			if e.Callee == nil || e.Kind == Dynamic {
+				continue
+			}
+			if opts.SkipRefs && e.Kind == Ref {
+				continue
+			}
+			if opts.SkipEdge != nil && opts.SkipEdge(n, e) {
+				continue
+			}
+			incoming[e.Callee] = append(incoming[e.Callee], revEdge{n, e})
+		}
+	}
+	r := &Reach{next: map[*Node]Edge{}, sink: map[*Node]bool{}}
+	var queue []*Node
+	for _, n := range g.nodes {
+		if opts.Sink(n) {
+			r.sink[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, in := range incoming[n] {
+			if r.sink[in.caller] {
+				continue
+			}
+			if _, seen := r.next[in.caller]; seen {
+				continue
+			}
+			r.next[in.caller] = in.e
+			queue = append(queue, in.caller)
+		}
+	}
+	return r
+}
+
+// Reaches reports whether n transitively reaches a sink (a sink reaches
+// trivially).
+func (r *Reach) Reaches(n *Node) bool {
+	if r.sink[n] {
+		return true
+	}
+	_, ok := r.next[n]
+	return ok
+}
+
+// IsSink reports whether n itself is a sink.
+func (r *Reach) IsSink(n *Node) bool { return r.sink[n] }
+
+// Path returns the witness chain from n to a sink as edges; the first
+// edge's Site lies inside n's body. Nil when n does not reach.
+func (r *Reach) Path(n *Node) []Edge {
+	if r.sink[n] {
+		return nil
+	}
+	var path []Edge
+	for !r.sink[n] {
+		e, ok := r.next[n]
+		if !ok {
+			return nil
+		}
+		path = append(path, e)
+		n = e.Callee
+	}
+	return path
+}
+
+// PathString renders the witness chain from n as "a → b → c" for
+// diagnostics, starting at n's own name and ending at the sink.
+func (r *Reach) PathString(n *Node) string {
+	s := n.Name
+	for _, e := range r.Path(n) {
+		s += " → " + e.Callee.Name
+	}
+	return s
+}

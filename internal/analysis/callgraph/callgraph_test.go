@@ -1,0 +1,176 @@
+package callgraph
+
+import (
+	"go/types"
+	"path/filepath"
+	"testing"
+
+	"parsimone/internal/analysis"
+)
+
+func loadCG(t *testing.T) (*analysis.Package, *Graph) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", "cg")
+	pkg, err := analysis.NewLoader().CheckFiles("cg", []string{filepath.Join(dir, "a.go")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := analysis.NewProgram([]*analysis.Package{pkg})
+	return pkg, Of(prog)
+}
+
+func fnOf(t *testing.T, pkg *analysis.Package, name string) *types.Func {
+	t.Helper()
+	fn, _ := pkg.Types.Scope().Lookup(name).(*types.Func)
+	if fn == nil {
+		t.Fatalf("function %s not found", name)
+	}
+	return fn
+}
+
+func timeSink(n *Node) bool {
+	return n.Func != nil && n.Func.FullName() == "time.Now"
+}
+
+func TestBuildEdges(t *testing.T) {
+	pkg, g := loadCG(t)
+
+	// direct → stamp is a single static edge.
+	direct := g.NodeOf(fnOf(t, pkg, "direct"))
+	if len(direct.Out) != 1 || direct.Out[0].Kind != Static || direct.Out[0].Callee.Name != "cg.stamp" {
+		t.Errorf("direct edges = %v, want one static edge to cg.stamp", direct.Out)
+	}
+
+	// dynamic's call through its parameter is recorded with no callee.
+	dyn := g.NodeOf(fnOf(t, pkg, "dynamic"))
+	if len(dyn.Out) != 1 || dyn.Out[0].Kind != Dynamic || dyn.Out[0].Callee != nil {
+		t.Errorf("dynamic edges = %v, want one dynamic edge with nil callee", dyn.Out)
+	}
+
+	// passes references stamp outside call position: a ref edge, plus the
+	// static call of dynamic.
+	passes := g.NodeOf(fnOf(t, pkg, "passes"))
+	var kinds []Kind
+	for _, e := range passes.Out {
+		kinds = append(kinds, e.Kind)
+	}
+	if len(passes.Out) != 2 || passes.Out[0].Kind != Static || passes.Out[1].Kind != Ref {
+		t.Errorf("passes edge kinds = %v, want [static ref]", kinds)
+	}
+
+	// Interface dispatch resolves to the abstract method as a dynamic edge.
+	viaIface := g.NodeOf(fnOf(t, pkg, "viaInterface"))
+	if len(viaIface.Out) != 1 || viaIface.Out[0].Kind != Dynamic || viaIface.Out[0].Callee == nil {
+		t.Errorf("viaInterface edges = %v, want one dynamic edge to the abstract method", viaIface.Out)
+	}
+
+	// Generic instantiation folds onto the origin function.
+	inst := g.NodeOf(fnOf(t, pkg, "instantiated"))
+	if len(inst.Out) != 1 || inst.Out[0].Callee != g.NodeOf(fnOf(t, pkg, "generic")) {
+		t.Errorf("instantiated edges = %v, want one edge to the generic origin", inst.Out)
+	}
+
+	// Conversions and builtins produce no edges.
+	clean := g.NodeOf(fnOf(t, pkg, "clean"))
+	if len(clean.Out) != 0 {
+		t.Errorf("clean edges = %v, want none", clean.Out)
+	}
+}
+
+func TestReach(t *testing.T) {
+	pkg, g := loadCG(t)
+	r := g.Reach(ReachOpts{Sink: timeSink})
+
+	reaches := map[string]bool{
+		"direct":       true, // static chain
+		"viaMethod":    true, // method call through a concrete receiver
+		"iife":         true, // immediately-invoked literal
+		"escape":       true, // escaping literal, via the ref edge
+		"passes":       true, // function value passed on, via the ref edge
+		"stamp":        true,
+		"dynamic":      false, // dynamic call does not propagate
+		"viaInterface": false, // interface dispatch does not propagate
+		"clean":        false,
+		"instantiated": false,
+	}
+	for name, want := range reaches {
+		n := g.NodeOf(fnOf(t, pkg, name))
+		if got := r.Reaches(n); got != want {
+			t.Errorf("Reaches(%s) = %v, want %v", name, got, want)
+		}
+	}
+
+	if got := r.PathString(g.NodeOf(fnOf(t, pkg, "direct"))); got != "cg.direct → cg.stamp → time.Now" {
+		t.Errorf("PathString(direct) = %q", got)
+	}
+	if got := r.PathString(g.NodeOf(fnOf(t, pkg, "viaMethod"))); got != "cg.viaMethod → cg.widget.tick → cg.stamp → time.Now" {
+		t.Errorf("PathString(viaMethod) = %q", got)
+	}
+
+	// The first hop of a path lies inside the reporting function's body.
+	direct := g.NodeOf(fnOf(t, pkg, "direct"))
+	path := r.Path(direct)
+	if len(path) != 2 || path[0].Site < direct.Pos {
+		t.Errorf("Path(direct) = %v, want two hops starting inside direct", path)
+	}
+}
+
+func TestReachSkipRefs(t *testing.T) {
+	pkg, g := loadCG(t)
+	r := g.Reach(ReachOpts{Sink: timeSink, SkipRefs: true})
+	if r.Reaches(g.NodeOf(fnOf(t, pkg, "escape"))) {
+		t.Error("escape must not reach through a ref edge when SkipRefs is set")
+	}
+	if r.Reaches(g.NodeOf(fnOf(t, pkg, "passes"))) {
+		t.Error("passes must not reach through a ref edge when SkipRefs is set")
+	}
+	if !r.Reaches(g.NodeOf(fnOf(t, pkg, "iife"))) {
+		t.Error("an immediately-invoked literal is a static edge and must still reach")
+	}
+}
+
+// TestReachDeterministic pins that repeated reachability passes pick the
+// identical witness path for every node.
+func TestReachDeterministic(t *testing.T) {
+	pkg, g := loadCG(t)
+	a := g.Reach(ReachOpts{Sink: timeSink})
+	b := g.Reach(ReachOpts{Sink: timeSink})
+	for _, name := range []string{"direct", "viaMethod", "iife", "escape", "passes"} {
+		n := g.NodeOf(fnOf(t, pkg, name))
+		if pa, pb := a.PathString(n), b.PathString(n); pa != pb {
+			t.Errorf("witness path for %s differs across runs: %q vs %q", name, pa, pb)
+		}
+	}
+}
+
+// TestReachSkipNodeAndEdge pins the two barrier hooks: a skipped node
+// neither takes nor forwards taint, and a skipped edge breaks the chain.
+func TestReachSkipNodeAndEdge(t *testing.T) {
+	pkg, g := loadCG(t)
+	stamp := g.NodeOf(fnOf(t, pkg, "stamp"))
+
+	r := g.Reach(ReachOpts{
+		Sink:     timeSink,
+		SkipNode: func(n *Node) bool { return n == stamp },
+	})
+	if r.Reaches(g.NodeOf(fnOf(t, pkg, "direct"))) {
+		t.Error("direct must not reach when the chain's only hop is skipped")
+	}
+
+	r = g.Reach(ReachOpts{
+		Sink:     timeSink,
+		SkipEdge: func(caller *Node, e Edge) bool { return caller == stamp },
+	})
+	if r.Reaches(g.NodeOf(fnOf(t, pkg, "direct"))) {
+		t.Error("direct must not reach when stamp's sink edge is skipped")
+	}
+	var now *Node
+	for _, n := range g.Nodes() {
+		if timeSink(n) {
+			now = n
+		}
+	}
+	if now == nil || !r.IsSink(now) {
+		t.Error("time.Now should still be a sink node")
+	}
+}

@@ -1,0 +1,39 @@
+// Call-graph construction cases: static chains, method calls through
+// concrete receivers, generic instantiation, immediately-invoked and
+// escaping function literals, function-typed parameters (dynamic), and
+// interface dispatch (dynamic).
+package cg
+
+import "time"
+
+type widget struct{}
+
+func (w *widget) tick() int64 { return stamp() }
+
+func stamp() int64 { return time.Now().UnixNano() }
+
+func direct() int64 { return stamp() }
+
+func viaMethod(w *widget) int64 { return w.tick() }
+
+func iife() int64 {
+	return func() int64 { return stamp() }()
+}
+
+func escape() func() int64 {
+	return func() int64 { return stamp() }
+}
+
+func dynamic(f func() int64) int64 { return f() }
+
+func passes() int64 { return dynamic(stamp) }
+
+type ticker interface{ tick() int64 }
+
+func viaInterface(t ticker) int64 { return t.tick() }
+
+func generic[T any](v T) T { return v }
+
+func instantiated() int { return generic[int](1) }
+
+func clean(x int) int { return len([]int{x}) + int(int64(x)) }

@@ -1,0 +1,92 @@
+// Package commreach is the interprocedural generalization of commsym: a
+// call under a rank-dependent conditional must not lead — through any
+// chain of client functions — to a comm collective. commsym flags the
+// collective written lexically inside the guarded branch; commreach flags
+// the guarded call whose callee reaches the collective two or more hops
+// down, which deadlocks identically (the guarded ranks enter the
+// collective, the rest never arrive) but is invisible per-package.
+//
+// The analysis has two halves. A whole-program backward pass marks every
+// function in comm's client set that transitively reaches a collective
+// ("collective-bearing"); comm's own internals are excluded — implementing
+// a collective out of rank-asymmetric sends is the package's job, and its
+// symmetry is the fault layer's runtime contract. Then every file outside
+// comm is scanned for rank-guarded regions (commsym.RankGuarded), and each
+// guarded call to a collective-bearing function is reported with the chain
+// from callee to collective. Direct collective calls inside a guard stay
+// commsym's finding, so no site is reported twice.
+package commreach
+
+import (
+	"go/ast"
+	"strings"
+
+	"parsimone/internal/analysis"
+	"parsimone/internal/analysis/callgraph"
+	"parsimone/internal/analysis/commsym"
+)
+
+// Analyzer is the commreach check.
+var Analyzer = &analysis.Analyzer{
+	Name:       "commreach",
+	Doc:        "flags rank-guarded calls to functions that transitively reach a comm collective",
+	Suppress:   "commreach",
+	RunProgram: run,
+}
+
+// inComm reports whether the node belongs to the comm package itself.
+func inComm(n *callgraph.Node) bool {
+	if n.Pkg == nil {
+		return false
+	}
+	path := n.Pkg.Path()
+	return path == "comm" || strings.HasSuffix(path, "/comm")
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := callgraph.Of(pass.Program)
+	bearing := g.Reach(callgraph.ReachOpts{
+		Sink: func(n *callgraph.Node) bool { return commsym.IsCollective(n.Func) },
+		SkipNode: func(n *callgraph.Node) bool {
+			return inComm(n) && !commsym.IsCollective(n.Func)
+		},
+		SkipEdge: func(caller *callgraph.Node, e callgraph.Edge) bool {
+			return pass.SuppressedAt(e.Site, "commreach")
+		},
+	})
+	for _, pkg := range pass.Program.Packages {
+		if pkg.Types != nil && (pkg.Types.Path() == "comm" || strings.HasSuffix(pkg.Types.Path(), "/comm")) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			guarded := commsym.RankGuarded(pkg.Info, f)
+			if len(guarded) == 0 {
+				continue
+			}
+			ast.Inspect(f, func(x ast.Node) bool {
+				call, ok := x.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callgraph.StaticCallee(pkg.Info, call)
+				if fn == nil || commsym.IsCollective(fn) {
+					return true // dynamic, or commsym's direct finding
+				}
+				n := g.NodeOf(fn)
+				if n == nil || !bearing.Reaches(n) || bearing.IsSink(n) {
+					return true
+				}
+				for _, gd := range guarded {
+					if gd.Pos() <= call.Pos() && call.End() <= gd.End() {
+						pass.Reportf(call.Pos(),
+							"call to %s under a rank-dependent conditional reaches a collective: %s; every rank must reach the collective or the guarded ranks deadlock — restructure or annotate //parsivet:commreach",
+							n.Name, bearing.PathString(n))
+						break
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+package commreach_test
+
+import (
+	"testing"
+
+	"parsimone/internal/analysis/analysistest"
+	"parsimone/internal/analysis/commreach"
+)
+
+// TestCommReach proves the interprocedural generalization of commsym:
+// calls taken under rank-dependent conditionals whose callees bear a
+// collective one or two hops down are flagged with the bearing path,
+// while symmetric calls, guarded point-to-point traffic, direct
+// collective calls (commsym's finding), and audited sites stay silent.
+// The testdata imports the real parsimone/internal/comm package.
+func TestCommReach(t *testing.T) {
+	analysistest.RunPackages(t, commreach.Analyzer, "engine")
+}

@@ -9,6 +9,11 @@
 // checkpoint/progress-manifest calls whose error result is silently
 // dropped, since a swallowed checkpoint error turns a recoverable crash
 // into a corrupt resume. Audited asymmetries carry //parsivet:commsym.
+//
+// commsym is per-package and lexical: it sees a collective only where the
+// call appears. Its interprocedural generalization — a rank-guarded call
+// to a function that reaches a collective further down the chain — is
+// commreach, which reuses the guard detection exported here.
 package commsym
 
 import (
@@ -18,6 +23,7 @@ import (
 	"strings"
 
 	"parsimone/internal/analysis"
+	"parsimone/internal/analysis/callgraph"
 )
 
 // Analyzer is the commsym check.
@@ -42,36 +48,18 @@ var collectives = map[string]bool{
 	"Split":          true,
 }
 
-// checkpointName matches the durable-state helpers whose errors must not be
-// dropped.
-var checkpointName = regexp.MustCompile(`(?i)checkpoint|progress|manifest`)
+// CheckpointName matches the durable-state helpers whose errors must not
+// be dropped.
+var CheckpointName = regexp.MustCompile(`(?i)checkpoint|progress|manifest`)
 
 func run(pass *analysis.Pass) error {
 	for _, f := range pass.Files {
-		// guarded collects the body extents of every rank-dependent
-		// if/switch so nested collective calls can be position-tested.
-		var guarded []ast.Node
-		ast.Inspect(f, func(n ast.Node) bool {
-			switch n := n.(type) {
-			case *ast.IfStmt:
-				if rankDependent(pass, n.Cond) {
-					guarded = append(guarded, n.Body)
-					if n.Else != nil {
-						guarded = append(guarded, n.Else)
-					}
-				}
-			case *ast.SwitchStmt:
-				if n.Tag != nil && rankDependent(pass, n.Tag) {
-					guarded = append(guarded, n.Body)
-				}
-			}
-			return true
-		})
+		guarded := RankGuarded(pass.TypesInfo, f)
 		ast.Inspect(f, func(n ast.Node) bool {
 			switch n := n.(type) {
 			case *ast.CallExpr:
-				fn := commFunc(pass, n)
-				if fn == nil || !collectives[fn.Name()] {
+				fn := callgraph.StaticCallee(pass.TypesInfo, n)
+				if fn == nil || !IsCollective(fn) {
 					return true
 				}
 				for _, g := range guarded {
@@ -87,11 +75,11 @@ func run(pass *analysis.Pass) error {
 				if !ok {
 					return true
 				}
-				fn := calledFunc(pass, call)
+				fn := callgraph.StaticCallee(pass.TypesInfo, call)
 				if fn == nil || !returnsError(fn) {
 					return true
 				}
-				if fromComm(fn) || checkpointName.MatchString(fn.Name()) {
+				if FromComm(fn) || CheckpointName.MatchString(fn.Name()) {
 					pass.Reportf(n.Pos(),
 						"result of %s dropped: comm/checkpoint errors decide abort propagation and resume safety; handle the error or annotate //parsivet:commsym",
 						fn.Name())
@@ -103,40 +91,14 @@ func run(pass *analysis.Pass) error {
 	return nil
 }
 
-// commFunc returns the called function if it belongs to the comm package.
-func commFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	fn := calledFunc(pass, call)
-	if fn != nil && fromComm(fn) {
-		return fn
-	}
-	return nil
+// IsCollective reports whether fn is one of the comm collectives every
+// rank must reach in lockstep.
+func IsCollective(fn *types.Func) bool {
+	return fn != nil && collectives[fn.Name()] && FromComm(fn)
 }
 
-// calledFunc resolves a call's callee to its function object, seeing
-// through generic instantiation.
-func calledFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch fun := ast.Unparen(call.Fun).(type) {
-	case *ast.Ident:
-		id = fun
-	case *ast.SelectorExpr:
-		id = fun.Sel
-	case *ast.IndexExpr: // explicit instantiation comm.Bcast[T](...)
-		switch x := ast.Unparen(fun.X).(type) {
-		case *ast.Ident:
-			id = x
-		case *ast.SelectorExpr:
-			id = x.Sel
-		}
-	}
-	if id == nil {
-		return nil
-	}
-	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
-	return fn
-}
-
-func fromComm(fn *types.Func) bool {
+// FromComm reports whether fn is declared in the comm package.
+func FromComm(fn *types.Func) bool {
 	pkg := fn.Pkg()
 	if pkg == nil {
 		return false
@@ -154,15 +116,39 @@ func returnsError(fn *types.Func) bool {
 	return types.Identical(last, types.Universe.Lookup("error").Type())
 }
 
+// RankGuarded collects the body extents of every rank-dependent if/switch
+// in f: the regions where a collective — or, interprocedurally, a call
+// that reaches one — is only executed by some ranks.
+func RankGuarded(info *types.Info, f *ast.File) []ast.Node {
+	var guarded []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			if rankDependent(info, n.Cond) {
+				guarded = append(guarded, n.Body)
+				if n.Else != nil {
+					guarded = append(guarded, n.Else)
+				}
+			}
+		case *ast.SwitchStmt:
+			if n.Tag != nil && rankDependent(info, n.Tag) {
+				guarded = append(guarded, n.Body)
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
 // rankDependent reports whether cond's value depends on the caller's rank:
 // it calls (*comm.Comm).Rank or reads an identifier named like "rank".
-func rankDependent(pass *analysis.Pass, cond ast.Expr) bool {
+func rankDependent(info *types.Info, cond ast.Expr) bool {
 	found := false
 	ast.Inspect(cond, func(n ast.Node) bool {
 		switch n := n.(type) {
 		case *ast.SelectorExpr:
-			if fn, ok := pass.TypesInfo.Uses[n.Sel].(*types.Func); ok &&
-				fn.Name() == "Rank" && fromComm(fn) {
+			if fn, ok := info.Uses[n.Sel].(*types.Func); ok &&
+				fn.Name() == "Rank" && FromComm(fn) {
 				found = true
 			}
 		case *ast.Ident:

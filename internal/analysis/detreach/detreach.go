@@ -1,0 +1,91 @@
+// Package detreach is the interprocedural generalization of prngonly: no
+// function reachable from an exported entry point of the deterministic
+// packages (analysis.DeterministicPackages) may transitively reach a
+// wallclock, host-PRNG, or process-environment sink. prngonly catches the
+// direct call — time.Now written inside a deterministic package — but a
+// helper in any non-exempt package that reaches the sink two hops down
+// forks the replicated MRG3 decision schedule exactly as silently.
+// detreach walks the whole-program call graph backward from the sinks and
+// reports, per entry point, the full offending call chain.
+//
+// Barriers: taint never propagates through the wallclock-exempt packages
+// (obs, trace, bench — their timestamps never feed learned-network state),
+// and an edge whose call site carries //parsivet:detreach or an audited
+// //parsivet:wallclock stops the chain — the same convention prngonly
+// already enforces at the sink.
+//
+// The diagnostic lands on the first call of the chain inside the entry
+// point's own body, so the suppression sits where the deterministic
+// package takes the tainted dependency.
+package detreach
+
+import (
+	"parsimone/internal/analysis"
+	"parsimone/internal/analysis/callgraph"
+)
+
+// Analyzer is the detreach check.
+var Analyzer = &analysis.Analyzer{
+	Name:       "detreach",
+	Doc:        "flags deterministic entry points that transitively reach wallclock/PRNG/env sinks, with the full call path",
+	Suppress:   "detreach",
+	RunProgram: run,
+}
+
+// sinkFuncs are the host-nondeterminism entry points by fully qualified
+// name.
+var sinkFuncs = map[string]bool{
+	"time.Now":     true,
+	"time.Since":   true,
+	"time.Until":   true,
+	"os.Getenv":    true,
+	"os.LookupEnv": true,
+	"os.Environ":   true,
+	"os.Hostname":  true,
+	"os.Getpid":    true,
+}
+
+// sinkPkgs are the host-PRNG packages: any call into them is a sink.
+var sinkPkgs = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+func isSink(n *callgraph.Node) bool {
+	if n.Func == nil {
+		return false
+	}
+	if n.Pkg != nil && sinkPkgs[n.Pkg.Path()] {
+		return true
+	}
+	return sinkFuncs[n.Func.FullName()]
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := callgraph.Of(pass.Program)
+	r := g.Reach(callgraph.ReachOpts{
+		Sink: isSink,
+		SkipNode: func(n *callgraph.Node) bool {
+			return n.Pkg != nil && analysis.WallclockExempt[n.Pkg.Name()]
+		},
+		SkipEdge: func(caller *callgraph.Node, e callgraph.Edge) bool {
+			return pass.SuppressedAt(e.Site, "detreach") ||
+				pass.SuppressedAt(e.Site, "wallclock")
+		},
+	})
+	for _, n := range g.Nodes() {
+		if n.Func == nil || !n.Func.Exported() || !analysis.IsDeterministic(n.Pkg) {
+			continue
+		}
+		path := r.Path(n)
+		if len(path) == 0 {
+			continue
+		}
+		sink := path[len(path)-1].Callee
+		pass.Reportf(path[0].Site,
+			"deterministic entry point %s reaches %s: %s; a wallclock/PRNG/env read forks the replicated decision schedule — break the chain or annotate the audited hop //parsivet:detreach",
+			n.Name, sink.Name, r.PathString(n))
+	}
+	return nil
+}

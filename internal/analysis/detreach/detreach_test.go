@@ -1,0 +1,18 @@
+package detreach_test
+
+import (
+	"testing"
+
+	"parsimone/internal/analysis/analysistest"
+	"parsimone/internal/analysis/detreach"
+)
+
+// TestDetReach proves the analyzer follows taint across package
+// boundaries: exported entry points of a deterministic package reaching
+// wallclock/env sinks through a helper package are flagged with the full
+// call path, while audited hops (//parsivet:detreach on the call,
+// //parsivet:wallclock at the sink) and pure chains stay silent. The
+// sinklib package loads first so core can import it by bare name.
+func TestDetReach(t *testing.T) {
+	analysistest.RunPackages(t, detreach.Analyzer, "sinklib", "core")
+}

@@ -5,53 +5,99 @@ package analysis
 import (
 	"encoding/json"
 	"fmt"
+	"go/ast"
 	"io"
 	"sort"
 )
 
 // Analyze runs the analyzers over one package and returns the unsuppressed
-// findings in position order.
+// findings in position order. Whole-program analyzers see a program of
+// just that package.
 func Analyze(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
-	idx := buildSuppressionIndex(pkg.Fset, pkg.Files)
+	diags, _, err := analyzeProgram(NewProgram([]*Package{pkg}), analyzers)
+	return diags, err
+}
+
+// AnalyzeProgram runs the analyzers over all packages of prog: per-package
+// analyzers over each package in turn, whole-program analyzers once over
+// the full program. Findings come back unsuppressed and in position order.
+func AnalyzeProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := analyzeProgram(prog, analyzers)
+	return diags, err
+}
+
+func analyzeProgram(prog *Program, analyzers []*Analyzer) ([]Diagnostic, *suppTracker, error) {
+	var files []*ast.File
+	for _, pkg := range prog.Packages {
+		files = append(files, pkg.Files...)
+	}
+	tracker := newSuppTracker(prog.Fset, files)
 	var diags []Diagnostic
-	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.Info,
-			report: func(d Diagnostic) {
-				if !idx.suppressed(d) {
-					diags = append(diags, d)
-				}
-			},
-		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+	report := func(d Diagnostic) {
+		if !tracker.suppressed(d) {
+			diags = append(diags, d)
 		}
 	}
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			if a.Run == nil {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.Info,
+				report:    report,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	for _, a := range analyzers {
+		if a.RunProgram == nil {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: a, Program: prog, report: report, supp: tracker}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, nil, fmt.Errorf("analysis: %s: %v", a.Name, err)
+		}
+	}
+	sortDiagnostics(diags)
+	return diags, tracker, nil
+}
+
+// Run loads the packages matching patterns and analyzes them as one
+// program, returning all findings sorted by position.
+func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, _, err := load(patterns, analyzers)
+	return diags, err
+}
+
+// RunStrict is Run plus stale-suppression detection: every //parsivet:
+// comment that silenced nothing in this run (and every keyword no analyzer
+// of the run owns) comes back as a "suppressions" finding, so audited
+// sites cannot outlive the hazard they audit. Strict runs only make sense
+// with the full analyzer set — a subset would misreport the excluded
+// analyzers' keywords as stale.
+func RunStrict(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	diags, tracker, err := load(patterns, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	diags = append(diags, tracker.stale(analyzers)...)
 	sortDiagnostics(diags)
 	return diags, nil
 }
 
-// Run loads the packages matching patterns and analyzes each, returning all
-// findings sorted by position.
-func Run(patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+func load(patterns []string, analyzers []*Analyzer) ([]Diagnostic, *suppTracker, error) {
 	pkgs, err := NewLoader().Load(patterns...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	var all []Diagnostic
-	for _, pkg := range pkgs {
-		diags, err := Analyze(pkg, analyzers)
-		if err != nil {
-			return nil, err
-		}
-		all = append(all, diags...)
-	}
-	sortDiagnostics(all)
-	return all, nil
+	return analyzeProgram(NewProgram(pkgs), analyzers)
 }
 
 func sortDiagnostics(diags []Diagnostic) {
@@ -80,30 +126,14 @@ func WriteText(w io.Writer, diags []Diagnostic) error {
 	return nil
 }
 
-// jsonDiagnostic is the machine-readable finding format of `parsivet -json`,
-// consumed by benchtab-style tooling to track counts across PRs.
-type jsonDiagnostic struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Column   int    `json:"column"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
-}
-
 // WriteJSON renders findings as an indented JSON array (always an array,
-// "[]" when clean).
+// "[]" when clean) in the Diagnostic.MarshalJSON schema documented in
+// cmd/parsivet.
 func WriteJSON(w io.Writer, diags []Diagnostic) error {
-	out := make([]jsonDiagnostic, 0, len(diags))
-	for _, d := range diags {
-		out = append(out, jsonDiagnostic{
-			File:     d.Position.Filename,
-			Line:     d.Position.Line,
-			Column:   d.Position.Column,
-			Analyzer: d.Analyzer,
-			Message:  d.Message,
-		})
+	if diags == nil {
+		diags = []Diagnostic{}
 	}
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(out)
+	return enc.Encode(diags)
 }

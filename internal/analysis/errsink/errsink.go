@@ -1,0 +1,165 @@
+// Package errsink tracks comm/wire/checkpoint errors along interprocedural
+// propagation chains and flags the site where one is discarded. commsym
+// already catches the direct shape — a bare statement dropping the error
+// of a comm run-loop or checkpoint helper — but once the error has been
+// propagated up one level (a loader that returns wire.DecodeFile's error,
+// a resume path that returns the checkpoint reader's), the per-package
+// view no longer knows the discarded error decides resume safety.
+//
+// A function is an error origin if it is declared in comm or wire, or its
+// name names durable state (checkpoint/progress/manifest), and its last
+// result is error. A function is a carrier if its last result is error and
+// it reaches an origin through a chain of error-returning functions — the
+// only chains an error value can actually travel. Discarding a carrier's
+// error — a bare call statement, defer, go, or a blank identifier in the
+// error position of an assignment — is reported with the propagation
+// chain. Direct comm/checkpoint drops in statement position stay commsym's
+// finding, so no site is reported twice.
+package errsink
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"parsimone/internal/analysis"
+	"parsimone/internal/analysis/callgraph"
+	"parsimone/internal/analysis/commsym"
+)
+
+// Analyzer is the errsink check.
+var Analyzer = &analysis.Analyzer{
+	Name:       "errsink",
+	Doc:        "flags discarded errors that interprocedurally originate from comm/wire/checkpoint I/O",
+	Suppress:   "errsink",
+	RunProgram: run,
+}
+
+// fromWire reports whether fn is declared in the wire package.
+func fromWire(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return false
+	}
+	return pkg.Path() == "wire" || strings.HasSuffix(pkg.Path(), "/wire")
+}
+
+// sigReturnsError reports whether sig's last result is error.
+func sigReturnsError(sig *types.Signature) bool {
+	if sig == nil || sig.Results().Len() == 0 {
+		return false
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type())
+}
+
+// isOrigin reports whether n's error result is born in comm/wire/
+// checkpoint I/O.
+func isOrigin(n *callgraph.Node) bool {
+	if n.Func == nil || !sigReturnsError(n.Sig) {
+		return false
+	}
+	return commsym.FromComm(n.Func) || fromWire(n.Func) ||
+		commsym.CheckpointName.MatchString(n.Func.Name())
+}
+
+func run(pass *analysis.ProgramPass) error {
+	g := callgraph.Of(pass.Program)
+	carrier := g.Reach(callgraph.ReachOpts{
+		Sink: isOrigin,
+		// An error can only travel up a chain of error-returning
+		// functions; a function that handles (or panics on) the error
+		// internally ends the chain.
+		SkipNode: func(n *callgraph.Node) bool { return !sigReturnsError(n.Sig) },
+		SkipEdge: func(caller *callgraph.Node, e callgraph.Edge) bool {
+			return pass.SuppressedAt(e.Site, "errsink")
+		},
+		// Referencing a function value does not propagate its error —
+		// wherever the value is called does.
+		SkipRefs: true,
+	})
+	// flagged resolves a call to its callee node when discarding that
+	// callee's error loses a comm/wire/checkpoint failure.
+	flagged := func(info *types.Info, call *ast.CallExpr, direct bool) *callgraph.Node {
+		fn := callgraph.StaticCallee(info, call)
+		n := g.NodeOf(fn)
+		if n == nil || !sigReturnsError(n.Sig) {
+			return nil
+		}
+		if carrier.IsSink(n) {
+			// Direct origins in bare-statement position are commsym's
+			// finding for comm/checkpoint names; wire and the non-statement
+			// discard shapes are ours.
+			if direct && (commsym.FromComm(fn) || commsym.CheckpointName.MatchString(fn.Name())) {
+				return nil
+			}
+			return n
+		}
+		if carrier.Reaches(n) {
+			return n
+		}
+		return nil
+	}
+	report := func(pos ast.Node, n *callgraph.Node) {
+		chain := n.Name
+		if !carrier.IsSink(n) {
+			chain = carrier.PathString(n)
+		}
+		pass.Reportf(pos.Pos(),
+			"error from %s discarded: it propagates comm/wire/checkpoint failures (%s) that decide abort and resume safety; handle it or annotate //parsivet:errsink",
+			n.Name, chain)
+	}
+	for _, pkg := range pass.Program.Packages {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(x ast.Node) bool {
+				switch x := x.(type) {
+				case *ast.ExprStmt:
+					if call, ok := x.X.(*ast.CallExpr); ok {
+						if n := flagged(pkg.Info, call, true); n != nil {
+							report(x, n)
+						}
+					}
+				case *ast.DeferStmt:
+					if n := flagged(pkg.Info, x.Call, false); n != nil {
+						report(x, n)
+					}
+				case *ast.GoStmt:
+					if n := flagged(pkg.Info, x.Call, false); n != nil {
+						report(x, n)
+					}
+				case *ast.AssignStmt:
+					for i, rhs := range x.Rhs {
+						call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+						if !ok {
+							continue
+						}
+						n := flagged(pkg.Info, call, false)
+						if n == nil {
+							continue
+						}
+						// Single call expanding to all LHS positions, or a
+						// parallel assignment pairing Lhs[i] with Rhs[i].
+						lhs := x.Lhs
+						if len(x.Rhs) > 1 {
+							if i >= len(lhs) {
+								continue
+							}
+							lhs = lhs[i : i+1]
+						}
+						// The error is the last result; with a parallel
+						// assignment the single LHS holds it directly.
+						errPos := len(lhs) - 1
+						if len(x.Rhs) == 1 && len(lhs) != n.Sig.Results().Len() {
+							continue
+						}
+						if id, ok := lhs[errPos].(*ast.Ident); ok && id.Name == "_" {
+							report(x, n)
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}

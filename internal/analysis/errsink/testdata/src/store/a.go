@@ -1,0 +1,93 @@
+// Seeded errsink cases: carriers that propagate wire/comm/checkpoint
+// errors up one or two levels before a caller discards them, plus the
+// direct shapes that stay commsym's finding.
+package store
+
+import (
+	"parsimone/internal/comm"
+	"parsimone/internal/wire"
+)
+
+// load is a one-hop carrier: it returns wire.DecodeFile's error.
+func load(data []byte) error {
+	_, _, err := wire.DecodeFile(data)
+	return err
+}
+
+// restore is a two-hop carrier: restore → load → wire.DecodeFile.
+func restore(data []byte) error { return load(data) }
+
+func dropStatement(data []byte) {
+	load(data) // want "error from store.load discarded: it propagates comm/wire/checkpoint failures \\(store.load → wire.DecodeFile\\)"
+}
+
+func dropBlank(data []byte) {
+	_ = restore(data) // want "error from store.restore discarded: it propagates comm/wire/checkpoint failures \\(store.restore → store.load → wire.DecodeFile\\)"
+}
+
+func dropDefer(data []byte) {
+	defer load(data) // want "error from store.load discarded"
+}
+
+func dropGo(data []byte) {
+	go restore(data) // want "error from store.restore discarded"
+}
+
+// dropDirectWire discards a wire origin in statement position: wire is
+// not in commsym's comm/checkpoint set, so the site is errsink's.
+func dropDirectWire(data []byte) {
+	wire.DecodeFile(data) // want "error from wire.DecodeFile discarded"
+}
+
+// dropRunBlank blanks the error position of a direct comm origin — an
+// assignment, not a bare statement, so it is errsink's, not commsym's.
+func dropRunBlank() {
+	_, _ = comm.Run(1, func(c *comm.Comm) error { return nil }) // want "error from comm.Run discarded"
+}
+
+// readProgress names durable state: its error result is an origin by
+// name even though it calls no I/O here.
+func readProgress() error { return nil }
+
+// dropProgressStatement is commsym's finding (direct checkpoint-named
+// drop in statement position): errsink must stay silent here.
+func dropProgressStatement() {
+	readProgress()
+}
+
+func dropProgressBlank() {
+	_ = readProgress() // want "error from store.readProgress discarded"
+}
+
+// handled consumes the carrier's error: clean.
+func handled(data []byte) error {
+	if err := restore(data); err != nil {
+		return err
+	}
+	return nil
+}
+
+// swallow handles the error internally and returns none, ending the
+// chain: discarding swallow's (absent) result can never lose the wire
+// failure, and callers dropping swallow stay clean.
+func swallow(data []byte) {
+	if err := load(data); err != nil {
+		panic(err)
+	}
+}
+
+func callsSwallow(data []byte) {
+	swallow(data)
+}
+
+// audited carries the justification on the line above the discard.
+func audited(data []byte) {
+	//parsivet:errsink — audited: best-effort cache warm, failure re-read on demand (testdata)
+	_ = restore(data)
+}
+
+// pair keeps the error in a named variable and returns it: clean.
+func pair(data []byte) error {
+	err := load(data)
+	return err
+}

@@ -161,7 +161,10 @@ func newInfo() *types.Info {
 // CheckFiles parses and type-checks an explicit file list as a package with
 // the given import path, resolving its imports through the loader. The
 // analysistest harness uses it to load testdata packages that live outside
-// the module's package graph.
+// the module's package graph. The checked package is registered under path,
+// so a testdata package checked later may import an earlier one by that
+// path — the interprocedural analyzers' testdata uses this to seed
+// cross-package call chains.
 func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
 	files := make([]*ast.File, 0, len(filenames))
 	for _, name := range filenames {
@@ -177,7 +180,10 @@ func (l *Loader) CheckFiles(path string, filenames []string) (*Package, error) {
 	if err != nil {
 		return nil, fmt.Errorf("analysis: type-checking %s: %v", path, err)
 	}
-	return &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}, nil
+	pkg := &Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.checked[path] = tpkg
+	l.full[path] = pkg
+	return pkg, nil
 }
 
 // importPackage returns the type-checked package at path, listing and
