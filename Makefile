@@ -11,7 +11,7 @@ GO ?= go
 # Iterations of the seeded cancel/fault chaos soak (`make soak`).
 SOAK_ITERS ?= 25
 
-.PHONY: tier1 fmt vet lint lint-fast build test race faults soak fuzz fuzz-score fuzz-wire bench serve-smoke
+.PHONY: tier1 fmt vet lint lint-fast build test race faults soak fuzz fuzz-score fuzz-wire bench bench-batch serve-smoke
 
 tier1: fmt vet lint build test race faults
 
@@ -90,10 +90,17 @@ fuzz-score:
 	$(GO) test -run '^$$' -fuzz 'FuzzQuantizeWeights$$' -fuzztime 10s ./internal/score/
 	$(GO) test -run '^$$' -fuzz 'FuzzQuantizeProb$$' -fuzztime 10s ./internal/score/
 	$(GO) test -run '^$$' -fuzz 'FuzzKernelLogML$$' -fuzztime 10s ./internal/score/
+	$(GO) test -run '^$$' -fuzz 'FuzzMemoLogML$$' -fuzztime 10s ./internal/score/
 
 # Regenerate the full reduced-scale reproduction (minutes).
 bench:
 	$(GO) run ./cmd/benchtab all
+
+# Reproducible end-to-end measurement of the batched split scorer: the
+# `batch` experiment (unbatched DisableBatch leg vs batched leg, per-phase
+# wall-clock breakdown, bit-identity column) as machine-readable JSON.
+bench-batch:
+	$(GO) run ./cmd/benchtab -json batch > BENCH_batch.json
 
 # Boot the parsimoned daemon on an ephemeral port, drive one tiny learn job
 # end-to-end through its HTTP surface (submit → long-poll done → download +

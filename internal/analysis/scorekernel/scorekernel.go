@@ -1,14 +1,23 @@
 // Package scorekernel keeps the marginal-likelihood arithmetic inside
 // internal/score. The exact-bit-identity argument for the precomputed
 // scoring kernel (DESIGN.md §11) holds only because every LogML evaluation
-// in the repo goes through Prior.LogML or Kernel.LogML, whose expression
-// shapes are pinned against each other by differential tests. A direct
-// math.Lgamma call in engine code is a second, unpinned spelling of the
-// score: it can drift from the kernel (different expression shape, FMA
-// contraction) and silently break cross-engine bit identity — and it
-// bypasses the kernel's tables, re-paying the transcendental cost the hot
-// loop was restructured to avoid. Deliberate exceptions carry
-// //parsivet:scorekernel with a justification.
+// in the repo goes through Prior.LogML, Kernel.LogML, or the exact memo in
+// front of them (score.Memo), whose expression shapes are pinned against
+// each other by differential tests. A direct math.Lgamma call in engine
+// code is a second, unpinned spelling of the score: it can drift from the
+// kernel (different expression shape, FMA contraction) and silently break
+// cross-engine bit identity — and it bypasses the kernel's tables,
+// re-paying the transcendental cost the hot loop was restructured to avoid.
+//
+// Inside internal/score itself the check is sharper: the data-dependent
+// Log(βN) suffix (and every other math.Log/math.Lgamma of the score) may be
+// spelled only in Prior.LogML, Kernel.LogML, and the table builder
+// NewKernel. In particular the memo cache (Memo.LogML) is permitted to
+// SERVE logML values precisely because it computes none — it delegates
+// every miss to Kernel.LogML and replays the resulting bits — so a
+// transcendental call appearing in it (or any future score helper) would
+// break the memo's exactness-by-construction argument and is flagged.
+// Deliberate exceptions carry //parsivet:scorekernel with a justification.
 package scorekernel
 
 import (
@@ -21,38 +30,77 @@ import (
 // Analyzer is the scorekernel check.
 var Analyzer = &analysis.Analyzer{
 	Name:     "scorekernel",
-	Doc:      "flags direct math.Lgamma calls outside internal/score (score through Prior.LogML or Kernel.LogML)",
+	Doc:      "flags direct math.Lgamma calls outside internal/score, and math.Log/math.Lgamma outside the pinned LogML kernels within it",
 	Suppress: "scorekernel",
 	Run:      run,
 }
 
+// scoreAllowed are the functions of package score pinned by differential
+// tests as the canonical spellings of the normal-gamma score. Keys are
+// "Recv.Name" for methods, "Name" for functions.
+var scoreAllowed = map[string]bool{
+	"Prior.LogML":  true,
+	"Kernel.LogML": true,
+	"NewKernel":    true,
+}
+
 func run(pass *analysis.Pass) error {
-	// internal/score is the sanctioned home of the marginal-likelihood
-	// arithmetic: Prior.LogML, the kernel tables, and their differential
-	// tests live there.
-	if pass.Pkg.Name() == "score" {
-		return nil
-	}
+	inScore := pass.Pkg.Name() == "score"
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+			fd, ok := n.(*ast.FuncDecl)
 			if !ok {
 				return true
 			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
+			if fd.Body == nil {
+				return false
+			}
+			if inScore && scoreAllowed[funcKey(fd)] {
+				return false // the sanctioned kernel spellings
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+				if !ok {
+					return true
+				}
+				switch fn.FullName() {
+				case "math.Lgamma":
+					pass.Reportf(call.Pos(),
+						"direct math.Lgamma call outside the pinned LogML kernels: score through Prior.LogML, Kernel.LogML, or Memo.LogML so the kernel's bit-identity pinning covers it, or annotate //parsivet:scorekernel with why this evaluation is not a block score")
+				case "math.Log":
+					if inScore {
+						pass.Reportf(call.Pos(),
+							"math.Log in package score outside Prior.LogML/Kernel.LogML/NewKernel: the Log(βN) suffix has exactly three pinned spellings, and the memo stays exact only by computing none — move the arithmetic into the kernel or annotate //parsivet:scorekernel")
+					}
+				}
 				return true
-			}
-			fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
-			if !ok {
-				return true
-			}
-			if fn.FullName() == "math.Lgamma" {
-				pass.Reportf(call.Pos(),
-					"direct math.Lgamma call outside internal/score: score through Prior.LogML or Kernel.LogML so the kernel's bit-identity pinning covers it, or annotate //parsivet:scorekernel with why this evaluation is not a block score")
-			}
-			return true
+			})
+			return false
 		})
 	}
 	return nil
+}
+
+// funcKey renders a FuncDecl as "Recv.Name" (methods, any pointerness) or
+// "Name" (functions).
+func funcKey(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
 }

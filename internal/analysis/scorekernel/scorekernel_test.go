@@ -8,10 +8,12 @@ import (
 )
 
 // TestScoreKernel proves the analyzer flags direct math.Lgamma calls in
-// engine code, leaves other math functions alone, and honors
-// //parsivet:scorekernel.
+// engine code, leaves other math functions (including math.Log) alone
+// outside internal/score, and honors //parsivet:scorekernel.
 func TestScoreKernel(t *testing.T) { analysistest.Run(t, scorekernel.Analyzer, "engine") }
 
-// TestScoreExempt proves internal/score — where the kernel and its
-// differential tests live — is not checked.
-func TestScoreExempt(t *testing.T) { analysistest.Run(t, scorekernel.Analyzer, "score") }
+// TestScoreInternalRules proves the sharper in-score rule: math.Log and
+// math.Lgamma are permitted only inside Prior.LogML, Kernel.LogML, and
+// NewKernel — a transcendental in the memo (or any other helper) is
+// flagged.
+func TestScoreInternalRules(t *testing.T) { analysistest.Run(t, scorekernel.Analyzer, "score") }

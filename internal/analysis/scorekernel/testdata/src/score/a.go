@@ -1,10 +1,45 @@
-// Package score is exempt: it is the sanctioned home of the
-// marginal-likelihood arithmetic and the kernel's own tables.
+// Package score mirrors internal/score's sharper rule: the score's
+// math.Log/math.Lgamma spellings are permitted only in Prior.LogML,
+// Kernel.LogML, and the table builder NewKernel. The memo serves cached
+// bits and must compute no transcendental itself.
 package score
 
 import "math"
 
-func fill(x float64) float64 {
-	v, _ := math.Lgamma(x)
-	return v
+type Prior struct{ Alpha0 float64 }
+
+type Kernel struct{ tables []float64 }
+
+type Memo struct{ kern *Kernel }
+
+func (p Prior) LogML(x float64) float64 {
+	v, _ := math.Lgamma(x + p.Alpha0)
+	return v - math.Log(x)
+}
+
+func (k *Kernel) LogML(x float64) float64 {
+	return k.tables[0] - math.Log(x)
+}
+
+func NewKernel(x float64) *Kernel {
+	lg, _ := math.Lgamma(x)
+	return &Kernel{tables: []float64{lg + math.Log(x)}}
+}
+
+func (m *Memo) LogML(x float64) float64 {
+	return math.Log(x) // want "math.Log in package score outside Prior.LogML/Kernel.LogML/NewKernel"
+}
+
+func helper(x float64) float64 {
+	v, _ := math.Lgamma(x) // want "direct math.Lgamma call outside the pinned LogML kernels"
+	return v + math.Log(x) // want "math.Log in package score outside Prior.LogML/Kernel.LogML/NewKernel"
+}
+
+func otherMathIsFine(x float64) float64 {
+	return math.Sqrt(x) + math.Exp(x)
+}
+
+func audited(x float64) float64 {
+	//parsivet:scorekernel — deliberate second spelling (testdata)
+	return math.Log(x)
 }

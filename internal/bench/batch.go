@@ -1,0 +1,73 @@
+// The batched split-scorer experiment: end-to-end effect of evaluating all
+// split values of a ⟨node,parent⟩ pair in one pass (sorted parent ranks +
+// exact logML memo, internal/splits + score.Memo) on the full learning run.
+// Both legs run core.Learn on the same data and seed — one with
+// DisableBatch set (the per-candidate path), one batched. The batched path
+// is an exact re-expression of the same arithmetic on the same PRNG
+// stream, so the learned networks must be identical; the table
+// double-checks that alongside the speedup, and breaks the wall clock down
+// per pipeline phase (only the modules phase contains split scoring, so
+// ganesh/consensus also serve as a no-change control). The micro-level
+// comparison lives in BenchmarkPosterior (internal/splits).
+
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"parsimone/internal/core"
+	"parsimone/internal/result"
+)
+
+// BatchTable measures learning run time with the batched split scorer
+// disabled ("unbatched", per-candidate evaluation) vs enabled, per phase,
+// over the sequential-experiment grid.
+func BatchTable(scale Scale) *Table {
+	t := &Table{
+		Title:  "Batched split scorer — per-candidate (DisableBatch) vs per-pair batched evaluation",
+		Header: []string{"n", "m", "phase", "unbatched", "batched", "speedup", "identical"},
+		Notes: []string{
+			"one pass per ⟨node,parent⟩ pair: sorted parent ranks + exact (N,Sum,SumSq)-keyed logML memo",
+			"'identical' is the bit-identity check between the two learned networks",
+			"split scoring happens in the modules phase; ganesh/consensus are unaffected by the switch",
+			"single-measurement wall clocks; BenchmarkPosterior isolates the hot loop itself",
+		},
+	}
+	ns, ms := table1Sizes(scale)
+	nMax, mMax := ns[len(ns)-1], ms[len(ms)-1]
+	for _, n := range ns {
+		for _, m := range ms {
+			d := subsetData(nMax, mMax, 42, n, m)
+			unbatched := runOptions(7)
+			unbatched.Module.Splits.DisableBatch = true
+			startUnb := time.Now()
+			ref, err := core.Learn(d, unbatched)
+			if err != nil {
+				panic(err)
+			}
+			unbDur := time.Since(startUnb)
+			startBat := time.Now()
+			fast, err := core.Learn(d, runOptions(7))
+			if err != nil {
+				panic(err)
+			}
+			batDur := time.Since(startBat)
+			t.AddRow(
+				fmt.Sprint(n), fmt.Sprint(m), "total",
+				fmtDur(unbDur), fmtDur(batDur),
+				fmt.Sprintf("%.2f", float64(unbDur)/float64(batDur)),
+				fmt.Sprint(result.Equal(ref.Network, fast.Network)),
+			)
+			for _, phase := range []string{core.TaskGaneSH, core.TaskConsensus, core.TaskModules} {
+				u, b := ref.Timers.Get(phase), fast.Timers.Get(phase)
+				speedup := "-"
+				if b > 0 {
+					speedup = fmt.Sprintf("%.2f", float64(u)/float64(b))
+				}
+				t.AddRow("", "", phase, fmtDur(u), fmtDur(b), speedup, "")
+			}
+		}
+	}
+	return t
+}

@@ -176,7 +176,7 @@ func Experiments() []string {
 		"table1", "fig3", "fig4", "fig5a", "fig5b", "fig5c",
 		"fig6", "table2", "imbalance", "ablation-dist", "threads",
 		"estimate", "determinism", "compare-genomica", "crossval",
-		"comm-volume", "recovery", "obs-overhead", "kernel", "serve",
+		"comm-volume", "recovery", "obs-overhead", "kernel", "batch", "serve",
 	}
 }
 
@@ -221,6 +221,8 @@ func Run(id string, scale Scale) (*Table, error) {
 		return ObsOverhead(scale), nil
 	case "kernel":
 		return KernelTable(scale), nil
+	case "batch":
+		return BatchTable(scale), nil
 	case "serve":
 		return ServeBench(scale), nil
 	}

@@ -36,7 +36,9 @@ func recoveryFixture(t *testing.T) (*dataset.Data, Options, *Output) {
 // module-learning crash points, followed by an automatic supervised restart
 // from checkpoints, yields a network bit-identical to the uninterrupted run
 // for p ∈ {1, 2, 4} — under both the v2 JSON and the v3 binary checkpoint
-// formats.
+// formats, and with the batched split scorer disabled (the reference was
+// learned batched, so the nobatch rows also prove A/B bit-identity through
+// a crash and restart).
 func TestFailpointRecoveryBitIdentical(t *testing.T) {
 	d, opt, want := recoveryFixture(t)
 	nm := len(want.Network.Modules)
@@ -48,15 +50,17 @@ func TestFailpointRecoveryBitIdentical(t *testing.T) {
 		fmt.Sprintf("module:%d", nm-1),
 	}
 	for _, format := range []struct {
-		name   string
-		binary bool
-	}{{"json", false}, {"binary", true}} {
+		name     string
+		binary   bool
+		batchOff bool
+	}{{"json", false, false}, {"binary", true, false}, {"json_nobatch", false, true}} {
 		for _, p := range []int{1, 2, 4} {
 			for _, fp := range failpoints {
 				t.Run(fmt.Sprintf("%s_p%d_%s", format.name, p, fp), func(t *testing.T) {
 					injected := opt
 					injected.CheckpointDir = t.TempDir()
 					injected.BinaryCheckpoints = format.binary
+					injected.Module.Splits.DisableBatch = format.batchOff
 					injected.MaxRestarts = 1
 					injected.Inject = &FaultSpec{Task: fp, Rank: 0}
 					got, err := LearnParallel(p, d, injected)

@@ -159,8 +159,9 @@ type Config struct {
 	// could never be admitted.
 	Slots int
 	// RetryBase is the backoff base: restart attempt k (1-based) sleeps
-	// RetryBase·2^(k−1) first. Jitter-free, so a fixed failure schedule
-	// replays an identical retry schedule. 0 retries immediately.
+	// RetryBase·2^(k−1) first, capped at maxRetryBackoff. Jitter-free, so a
+	// fixed failure schedule replays an identical retry schedule. 0 retries
+	// immediately.
 	RetryBase time.Duration
 	// Hooks receives the job lifecycle events
 	// (queued/admitted/running/retry/checkpointed/done/failed) and the
@@ -363,7 +364,7 @@ func (r *Runner) run(j *Job) {
 		r.count("jobs_retries_total", "runner-level job restarts", 1)
 		r.mu.Unlock()
 		if r.cfg.RetryBase > 0 {
-			backoff := r.cfg.RetryBase << attempt
+			backoff := retryBackoff(r.cfg.RetryBase, attempt)
 			select {
 			case <-time.After(backoff):
 			case <-ctx.Done():
@@ -382,6 +383,23 @@ func (r *Runner) run(j *Job) {
 			}
 		}
 	}
+}
+
+// maxRetryBackoff caps the exponential retry backoff. A bare
+// base << attempt overflows time.Duration once the shifted bit leaves the
+// top of int64 — an HTTP-submitted job with a big max_restarts could shift
+// into a negative duration, and time.After of a negative duration fires
+// immediately, busy-looping restarts with no sleep between them.
+const maxRetryBackoff = 30 * time.Second
+
+// retryBackoff is base·2^attempt clamped to maxRetryBackoff. The comparison
+// form base > maxRetryBackoff>>attempt never shifts base itself, so it is
+// overflow-free for every attempt count.
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	if base >= maxRetryBackoff || attempt >= 63 || base > maxRetryBackoff>>attempt {
+		return maxRetryBackoff
+	}
+	return base << attempt
 }
 
 // cancelCause maps a fired job context to the core sentinel a cancelled

@@ -471,3 +471,42 @@ func TestRunnerEventStreamAndMetrics(t *testing.T) {
 		t.Fatalf("jobs_failed_total = %d, want 1", got)
 	}
 }
+
+// TestRetryBackoffClampsOverflow: the exponential backoff must saturate at
+// maxRetryBackoff instead of shifting past the top of int64. Before the
+// clamp, high attempt counts produced a negative duration, and
+// time.After(negative) fires immediately — restarts busy-looped with no
+// sleep between them.
+func TestRetryBackoffClampsOverflow(t *testing.T) {
+	base := 50 * time.Millisecond
+	for _, tc := range []struct {
+		attempt int
+		want    time.Duration
+	}{
+		{0, base},
+		{1, 2 * base},
+		{3, 8 * base},
+		{9, 25600 * time.Millisecond},
+		{10, maxRetryBackoff}, // 51.2s uncapped
+		{40, maxRetryBackoff}, // ~64 000 years uncapped
+		{62, maxRetryBackoff}, // negative uncapped: the overflow the fix targets
+		{63, maxRetryBackoff},
+		{200, maxRetryBackoff}, // shift count alone is UB-adjacent uncapped
+	} {
+		got := retryBackoff(base, tc.attempt)
+		if got != tc.want {
+			t.Errorf("retryBackoff(%v, %d) = %v, want %v", base, tc.attempt, got, tc.want)
+		}
+		if got <= 0 {
+			t.Errorf("retryBackoff(%v, %d) = %v, non-positive", base, tc.attempt, got)
+		}
+	}
+	// The uncapped expression really does go negative at attempt 62 — the
+	// premise of the regression.
+	if raw := base << 62; raw > 0 {
+		t.Fatalf("premise: %v << 62 = %v, expected overflow to negative", base, raw)
+	}
+	if retryBackoff(time.Hour, 5) != maxRetryBackoff {
+		t.Fatal("base above the cap must saturate immediately")
+	}
+}

@@ -79,6 +79,12 @@ type gibbs struct {
 	// character while scoring through the same tables as the engines.
 	k *score.Kernel
 	g *prng.MRG3
+	// m memoizes split-posterior logML calls on the exact integer triple
+	// (score.Memo), mirroring the optimized engines' batched scorer. The
+	// statistics themselves are still rescanned from raw cells each step;
+	// only the scoring suffix is cached, and the memo delegates misses to k,
+	// so every answer stays bit-identical. Lazily built on first use.
+	m *score.Memo
 }
 
 func (e *gibbs) gainAttachVar(cc *cluster.CoClustering, x, to int) float64 {
@@ -396,6 +402,9 @@ func (e *gibbs) posterior(vars []int, node *tree.Node, cands []int, local int,
 		return 0
 	}
 	prow := e.q.Row(parent)
+	if e.m == nil {
+		e.m = score.NewMemo(e.k, 0)
+	}
 	successes, steps := 0, 0
 	for steps < maxSteps {
 		steps++
@@ -410,7 +419,7 @@ func (e *gibbs) posterior(vars []int, node *tree.Node, cands []int, local int,
 				rs.Merge(col)
 			}
 		}
-		delta := e.k.LogML(ls) + e.k.LogML(rs) - e.k.LogML(ls.Plus(rs))
+		delta := e.m.LogML(ls) + e.m.LogML(rs) - e.m.LogML(ls.Plus(rs))
 		if delta > 0 {
 			successes++
 		}

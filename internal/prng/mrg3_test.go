@@ -472,7 +472,7 @@ func TestUniformMatchesIntn(t *testing.T) {
 // sequence of element-wise Draw calls, including ragged batch sizes and
 // rejection-path bounds, and leave the generator in the identical state.
 func TestUniformFillMatchesDraw(t *testing.T) {
-	for _, n := range []int{1, 2, 3, 7, 8, 30, 64, 100, 1 << 20} {
+	for _, n := range []int{1, 2, 3, 7, 8, 30, 64, 100, 1 << 20, 1<<33 + 3} {
 		u := NewUniform(n)
 		a, b := New(uint64(n)+77), New(uint64(n)+77)
 		buf := make([]int, 37)
@@ -490,6 +490,37 @@ func TestUniformFillMatchesDraw(t *testing.T) {
 				t.Fatalf("n=%d size=%d: generators diverged after identical draws", n, size)
 			}
 		}
+	}
+}
+
+// TestUniformFastmodExact: the multiply-based remainder must agree with the
+// hardware divide for every bound shape it is enabled for — small odd, near
+// the 2^32 enablement edge, and adversarial dividends (0, extremes, values
+// straddling multiples of n).
+func TestUniformFastmodExact(t *testing.T) {
+	bounds := []int{3, 5, 7, 15, 30, 100, 12345, (1 << 20) + 7, (1 << 31) + 3, 1<<32 - 5}
+	g := New(99)
+	for _, n := range bounds {
+		u := NewUniform(n)
+		if u.pow2 {
+			t.Fatalf("n=%d: test bounds must be non-powers-of-two", n)
+		}
+		if !u.fast {
+			t.Fatalf("n=%d: fastmod not enabled within its bound", n)
+		}
+		vs := []uint64{0, 1, uint64(n) - 1, uint64(n), uint64(n) + 1, 2*uint64(n) - 1,
+			u.limit - 1, u.limit, math.MaxUint64, math.MaxUint64 - 1}
+		for i := 0; i < 2000; i++ {
+			vs = append(vs, g.Uint64())
+		}
+		for _, v := range vs {
+			if got, want := u.fastmod(v), v%uint64(n); got != want {
+				t.Fatalf("n=%d v=%d: fastmod %d, want %d", n, v, got, want)
+			}
+		}
+	}
+	if NewUniform(1<<32 + 3).fast {
+		t.Fatal("fastmod enabled beyond its 2^32 exactness bound")
 	}
 }
 

@@ -67,6 +67,13 @@ type Kernel struct {
 	// by Prior.LogML, still exact). Atomic: the splits pool shares one
 	// kernel across workers. The table-hit path never touches it.
 	fallbacks atomic.Int64
+	// zeroN counts LogML calls on empty blocks (s.N == 0), which return 0
+	// without consulting the table or the prior. Counted so the
+	// observability layer can derive true table serves: deriving hits as
+	// 3·Σsteps − fallbacks silently credited these early returns to the
+	// table (phantom hits, worst under DisableKernel). Atomic, but off the
+	// table-hit path: only empty-block calls pay it.
+	zeroN atomic.Int64
 }
 
 // NewKernel precomputes the scoring kernel of p for block counts 0…maxN.
@@ -116,6 +123,10 @@ func (k *Kernel) TableLen() int { return len(k.tab) }
 // construction — the cache-miss counter the observability layer exposes.
 func (k *Kernel) Fallbacks() int64 { return k.fallbacks.Load() }
 
+// ZeroN returns how many LogML calls were empty-block (s.N == 0) early
+// returns since construction — calls the table never served.
+func (k *Kernel) ZeroN() int64 { return k.zeroN.Load() }
+
 // LogML returns the normal-gamma marginal log-likelihood of the block whose
 // sufficient statistics are s, bit-equal to Prior.LogML(s). The remaining
 // operations are the data-dependent suffix of Prior.LogML's evaluation,
@@ -124,6 +135,7 @@ func (k *Kernel) Fallbacks() int64 { return k.fallbacks.Load() }
 // operands.
 func (k *Kernel) LogML(s Stats) float64 {
 	if s.N == 0 {
+		k.zeroN.Add(1)
 		return 0
 	}
 	if s.N < 0 || s.N >= int64(len(k.tab)) {

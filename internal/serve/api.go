@@ -212,17 +212,21 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *servedJob {
 	return sj
 }
 
-// intParam parses an integer query parameter, falling back to def.
-func intParam(r *http.Request, name string, def int) int {
+// intParam parses an integer query parameter. An absent or empty value means
+// def; a present non-integer value is a client error — the 400 is written
+// here and ok is false. (Silently defaulting on a typo like ?wait_ms=abc
+// turned long-polls into instant returns with no signal to the client.)
+func intParam(w http.ResponseWriter, r *http.Request, name string, def int) (n int, ok bool) {
 	v := r.URL.Query().Get(name)
 	if v == "" {
-		return def
+		return def, true
 	}
 	n, err := strconv.Atoi(v)
 	if err != nil {
-		return def
+		writeError(w, http.StatusBadRequest, errors.New(name+": "+err.Error()))
+		return 0, false
 	}
-	return n
+	return n, true
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -233,7 +237,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	// ?wait_ms long-polls for the terminal state: the handler returns as
 	// soon as the job finishes (result published), or with the current
 	// state at timeout.
-	if waitMS := min(intParam(r, "wait_ms", 0), maxWaitMS); waitMS > 0 {
+	waitMS, ok := intParam(w, r, "wait_ms", 0)
+	if !ok {
+		return
+	}
+	if waitMS = min(waitMS, maxWaitMS); waitMS > 0 {
 		select {
 		case <-sj.done:
 		case <-time.After(time.Duration(waitMS) * time.Millisecond):
@@ -247,8 +255,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if sj == nil {
 		return
 	}
-	after := intParam(r, "after", -1)
-	waitMS := min(intParam(r, "wait_ms", 0), maxWaitMS)
+	after, ok := intParam(w, r, "after", -1)
+	if !ok {
+		return
+	}
+	waitMS, ok := intParam(w, r, "wait_ms", 0)
+	if !ok {
+		return
+	}
+	waitMS = min(waitMS, maxWaitMS)
 	var timeout <-chan time.Time
 	if waitMS > 0 {
 		timeout = time.After(time.Duration(waitMS) * time.Millisecond)

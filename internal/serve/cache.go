@@ -26,7 +26,7 @@ import (
 // canonicalOptions is the serialized form of exactly the result-affecting
 // subset of core.Options. Scheduling and supervision knobs are deliberately
 // absent — Ranks, Workers (at every level), GaneshGroups, DynamicChunk,
-// ScanSelection, DisableKernel, CoordTimeout, CheckpointDir,
+// ScanSelection, DisableKernel, DisableBatch, CoordTimeout, CheckpointDir,
 // BinaryCheckpoints, MaxRestarts, Inject, Ctx, Events, Metrics, RecordWork
 // — each documented result-invisible, so resubmitting the same learning
 // problem at a different p×W (or with checkpointing toggled) still hits.

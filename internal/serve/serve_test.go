@@ -402,6 +402,51 @@ func TestBadRequests(t *testing.T) {
 	}
 }
 
+// TestMalformedQueryParamsRejected: a present-but-non-integer wait_ms or
+// after is a 400, not a silent fall-back to the default (which turned a
+// typo'd long-poll into an instant return). Empty values still mean default.
+func TestMalformedQueryParamsRejected(t *testing.T) {
+	tsv, _, _ := fixture(t)
+	s := NewServer(Config{Jobs: jobs.Config{MaxJobs: 1}})
+	defer s.Close()
+	if w := call(t, s, "POST", "/api/v1/jobs", submitBody(tsv)); w.Code != http.StatusAccepted {
+		t.Fatalf("submit: code %d body %s", w.Code, w.Body)
+	}
+
+	bad := []string{
+		"/api/v1/jobs/0?wait_ms=abc",
+		"/api/v1/jobs/0?wait_ms=12.5",
+		"/api/v1/jobs/0/events?after=xyz",
+		"/api/v1/jobs/0/events?wait_ms=abc",
+		"/api/v1/jobs/0/events?after=3&wait_ms=1e3",
+	}
+	for _, target := range bad {
+		w := call(t, s, "GET", target, "")
+		if w.Code != http.StatusBadRequest {
+			t.Errorf("%s: code %d, want 400 (body %s)", target, w.Code, w.Body)
+			continue
+		}
+		var body map[string]string
+		if err := json.Unmarshal(w.Body.Bytes(), &body); err != nil || body["error"] == "" {
+			t.Errorf("%s: missing JSON error body %q", target, w.Body)
+		}
+	}
+
+	good := []string{
+		"/api/v1/jobs/0",
+		"/api/v1/jobs/0?wait_ms=",
+		"/api/v1/jobs/0?wait_ms=1",
+		"/api/v1/jobs/0/events?after=",
+		"/api/v1/jobs/0/events?after=-1&wait_ms=1",
+	}
+	for _, target := range good {
+		if w := call(t, s, "GET", target, ""); w.Code != http.StatusOK {
+			t.Errorf("%s: code %d, want 200 (body %s)", target, w.Code, w.Body)
+		}
+	}
+	waitDone(t, s, 0)
+}
+
 // TestServerSidePathAndMetrics: a dataset loaded by server-side path learns
 // the same network as the inline upload, and /metrics exports the runner
 // and server series in Prometheus text format.

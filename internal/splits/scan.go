@@ -97,7 +97,7 @@ func LearnParallelScan(c *comm.Comm, q *score.QData, pr score.Prior, modules [][
 	if h := par.Hooks; h != nil {
 		h.PoolCost(PhaseAssign, st)
 		h.WorkerImbalance(PhaseAssign, st)
-		recordSplitMetrics(h.Registry(), localSteps, kern)
+		recordSplitMetrics(h.Registry(), localSteps, kern, scratches)
 		var localCost float64
 		for _, cst := range st.Cost {
 			localCost += cst

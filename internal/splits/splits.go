@@ -98,6 +98,14 @@ type Params struct {
 	// re-expression); the switch exists so the `kernel` benchtab
 	// experiment can measure the tables' effect end to end.
 	DisableKernel bool
+	// DisableBatch makes posterior evaluation run candidate-at-a-time (the
+	// pre-batch hot loop: per-candidate left-mask build and degenerate
+	// pre-scan, no per-pair sorted ranks, no logML memo). The learned
+	// result is identical either way — batching only removes repeated
+	// work, never reorders a PRNG draw or changes a float operation
+	// (DESIGN §16) — so the switch exists for A/B verification and the
+	// `batch` benchtab experiment, like DisableKernel for the kernel.
+	DisableBatch bool
 	// Cancel is the run's cooperative cancellation signal. Split
 	// assignment itself polls nothing (a module's splits are recomputed
 	// wholesale on resume, so the module edge is the cancellation
@@ -229,18 +237,34 @@ func itemCost(steps, nObs int) float64 {
 // allocation-free per candidate. The candidate list is parent-major within
 // a node — nObs consecutive candidates share ⟨node, parent⟩ — so the parent
 // column gathered over the node's observations is cached across candidates
-// and refilled only when the pair changes.
+// and refilled only when the pair changes. The batched path additionally
+// keys the pair's sorted-order structure (spos/rank) on the same change.
 type scratch struct {
 	// node and parent key the cached column.
 	node   *nodeRef
 	parent int
 	// pobs[k] is the parent's quantized value at the node's k-th
 	// observation; mask[k] the candidate's left/right side
-	// (pobs[k] ≤ value), rebuilt per candidate in one pass.
+	// (pobs[k] ≤ value), rebuilt per candidate in one pass (unbatched
+	// path only — the batched path replaces the mask with spos/rank).
 	pobs []int64
 	mask []bool
+	// spos[k] is observation slot k's position in the pair's sorted order
+	// (by value, ties by slot — a permutation); rank[k] is the left count
+	// of the candidate whose threshold is slot k's value: the number of
+	// pobs ≤ pobs[k]. A pick lands left of candidate k iff
+	// spos[pick] < rank[k], and the candidate is degenerate iff
+	// rank[k] == nObs — both O(1), replacing the per-candidate O(nObs)
+	// mask build and degenerate pre-scan with one O(nObs log nObs) sort
+	// per pair.
+	spos, rank []int32
+	// sortBuf holds the slot permutation while fillPair sorts.
+	sortBuf []int32
 	// picks receives one bootstrap step's batched draws.
 	picks []int
+	// memo is the worker's exact logML cache (batched path), lazily bound
+	// to the run's kernel by memoFor.
+	memo *score.Memo
 }
 
 // newScratches allocates one scratch per pool worker — separately, so
@@ -251,6 +275,73 @@ func newScratches(workers int) []*scratch {
 		out[i] = &scratch{parent: -1}
 	}
 	return out
+}
+
+// memoFor returns the worker's memo cache over kern, creating or rebinding
+// it on first use (scratches outlive no kernel: each learn call builds one
+// kernel and one scratch set, so the rebind happens once per worker).
+func (sc *scratch) memoFor(kern *score.Kernel) *score.Memo {
+	if sc.memo == nil || sc.memo.Kernel() != kern {
+		sc.memo = score.NewMemo(kern, 0)
+	}
+	return sc.memo
+}
+
+// grow resizes the per-observation buffers for a node with nObs
+// observations.
+func (sc *scratch) grow(nObs int) {
+	if cap(sc.pobs) < nObs {
+		sc.pobs = make([]int64, nObs)
+		sc.mask = make([]bool, nObs)
+		sc.spos = make([]int32, nObs)
+		sc.rank = make([]int32, nObs)
+		sc.sortBuf = make([]int32, nObs)
+		sc.picks = make([]int, nObs)
+	}
+	sc.pobs = sc.pobs[:nObs]
+	sc.mask = sc.mask[:nObs]
+	sc.spos = sc.spos[:nObs]
+	sc.rank = sc.rank[:nObs]
+	sc.sortBuf = sc.sortBuf[:nObs]
+	sc.picks = sc.picks[:nObs]
+}
+
+// fillPair caches the ⟨node, parent⟩ pair: the parent column over the
+// node's observations, its sorted order, and the per-slot ranks (prefix
+// counts of the sorted column — the batched path's whole-pair sufficient
+// structure). One sort amortizes over the pair's nObs candidates.
+func (sc *scratch) fillPair(q *score.QData, ref *nodeRef, parent, nObs int) {
+	sc.grow(nObs)
+	prow := q.Row(parent)
+	for k, j := range ref.node.Obs {
+		sc.pobs[k] = prow[j]
+	}
+	buf := sc.sortBuf
+	for k := range buf {
+		buf[k] = int32(k)
+	}
+	sort.Slice(buf, func(a, b int) bool {
+		va, vb := sc.pobs[buf[a]], sc.pobs[buf[b]]
+		if va != vb {
+			return va < vb
+		}
+		return buf[a] < buf[b]
+	})
+	for p, k := range buf {
+		sc.spos[k] = int32(p)
+	}
+	// Ranks: every slot of a run of equal values gets the run's end
+	// position — the count of column values ≤ that value.
+	for p := 0; p < nObs; {
+		runStart, v := p, sc.pobs[buf[p]]
+		for p < nObs && sc.pobs[buf[p]] == v {
+			p++
+		}
+		for i := runStart; i < p; i++ {
+			sc.rank[buf[i]] = int32(p)
+		}
+	}
+	sc.node, sc.parent = ref, parent
 }
 
 // maxStatsN returns the largest sufficient-statistics count the bootstrap
@@ -285,20 +376,93 @@ func newKernel(pr score.Prior, nodes []*nodeRef, par Params) *score.Kernel {
 // ref, drawing from sub (the candidate's numbered substream) and scoring
 // through kern — bit-equal to the prior's LogML (score.Kernel). sc is the
 // calling worker's scratch. It returns the posterior and the number of
-// resampling steps consumed.
+// resampling steps consumed. The batched and unbatched bodies return
+// identical bits and consume identical draws (TestPosteriorBatchBitIdentical);
+// par.DisableBatch selects the pre-batch body for A/B measurement.
 func posterior(q *score.QData, kern *score.Kernel, ref *nodeRef, candParents []int, ci int, sub *prng.MRG3, par Params, sc *scratch) (float64, int) {
+	if par.DisableBatch {
+		return posteriorUnbatched(q, kern, ref, candParents, ci, sub, par, sc)
+	}
+	return posteriorBatched(q, kern, ref, candParents, ci, sub, par, sc)
+}
+
+// posteriorBatched evaluates one candidate against its pair's cached
+// sorted-rank structure: the degenerate test and the per-pick side test are
+// rank comparisons (O(1) and branch-free), the per-candidate mask build is
+// gone, and logML goes through the worker's exact memo. Each candidate
+// still consumes its own substream in the exact unbatched order — the
+// bootstrap draws are the one part of the pair that cannot be shared
+// without changing bits (DESIGN §16).
+func posteriorBatched(q *score.QData, kern *score.Kernel, ref *nodeRef, candParents []int, ci int, sub *prng.MRG3, par Params, sc *scratch) (float64, int) {
 	local := ci - ref.offset
 	nObs := len(ref.node.Obs)
 	parent := candParents[local/nObs]
 	if sc.node != ref || sc.parent != parent {
-		if cap(sc.pobs) < nObs {
-			sc.pobs = make([]int64, nObs)
-			sc.mask = make([]bool, nObs)
-			sc.picks = make([]int, nObs)
+		sc.fillPair(q, ref, parent, nObs)
+	}
+	// threshold rank: picks with spos < t fall left. rank ≥ 1 always (the
+	// threshold value is its own observation), so only the all-left side
+	// can degenerate.
+	t := sc.rank[local%nObs]
+	if int(t) == nObs {
+		return 0, 0
+	}
+	spos := sc.spos
+	cols := ref.colStats
+	picks := sc.picks
+	memo := sc.memoFor(kern)
+	draw := prng.NewUniform(nObs)
+	successes, steps := 0, 0
+	for steps < par.MaxSteps {
+		steps++
+		// One batched fill per step, exactly as the unbatched body draws.
+		draw.Fill(sub, picks)
+		// Branch-free merge: spos[pick]−t is negative exactly for left
+		// picks, so its sign extension is an all-ones mask selecting the
+		// pick's contribution to the left block; the total accumulates
+		// unconditionally and the right block is total − left. Adding an
+		// AND-masked zero and subtracting exact integer sums are both
+		// identities in int64 arithmetic, so ls/rs/total carry the same
+		// bits the two-sided Merge sequence produced — with no per-pick
+		// branch to mispredict and every accumulator in a register.
+		var lsN, lsS, lsQ, totN, totS, totQ int64
+		for _, pick := range picks {
+			c := &cols[pick]
+			m := int64(spos[pick]-t) >> 63
+			totN += c.N
+			totS += c.Sum
+			totQ += c.SumSq
+			lsN += c.N & m
+			lsS += c.Sum & m
+			lsQ += c.SumSq & m
 		}
-		sc.pobs = sc.pobs[:nObs]
-		sc.mask = sc.mask[:nObs]
-		sc.picks = sc.picks[:nObs]
+		ls := score.Stats{N: lsN, Sum: lsS, SumSq: lsQ}
+		rs := score.Stats{N: totN - lsN, Sum: totS - lsS, SumSq: totQ - lsQ}
+		tot := score.Stats{N: totN, Sum: totS, SumSq: totQ}
+		delta := memo.LogML(ls) + memo.LogML(rs) - memo.LogML(tot)
+		if delta > 0 {
+			successes++
+		}
+		if steps >= par.MinSteps {
+			phat := float64(successes) / float64(steps)
+			hw := 1.96 * math.Sqrt(phat*(1-phat)/float64(steps))
+			if hw < par.CIHalfWidth {
+				break
+			}
+		}
+	}
+	return float64(successes) / float64(steps), steps
+}
+
+// posteriorUnbatched is the pre-batch hot loop, kept reachable via
+// par.DisableBatch as the A/B reference: per-candidate left-mask build and
+// degenerate pre-scan, direct kernel scoring.
+func posteriorUnbatched(q *score.QData, kern *score.Kernel, ref *nodeRef, candParents []int, ci int, sub *prng.MRG3, par Params, sc *scratch) (float64, int) {
+	local := ci - ref.offset
+	nObs := len(ref.node.Obs)
+	parent := candParents[local/nObs]
+	if sc.node != ref || sc.parent != parent {
+		sc.grow(nObs)
 		prow := q.Row(parent)
 		for k, j := range ref.node.Obs {
 			sc.pobs[k] = prow[j]
@@ -358,14 +522,26 @@ func posterior(q *score.QData, kern *score.Kernel, ref *nodeRef, candParents []i
 }
 
 // recordSplitMetrics records the result-invisible split-phase metrics:
-// the split_steps histogram and the kernel cache counters. Both
+// the split_steps histogram and the kernel/memo cache counters. Both
 // metric-recording selection paths (gather and scan) go through this one
 // helper so same-seed runs that differ only in ScanSelection produce
-// byte-identical metrics dumps. Hits are derived rather than counted in the
-// hot loop — each completed bootstrap step makes exactly three kernel calls
-// (degenerate candidates make none), so hits = 3·Σsteps − fallbacks and the
-// table-hit path stays free of atomics.
-func recordSplitMetrics(reg *obs.Registry, steps []int, kern *score.Kernel) {
+// byte-identical metrics dumps. Table hits are derived rather than counted
+// in the hot loop — each completed bootstrap step makes exactly three logML
+// calls (degenerate candidates make none), and every call is accounted to
+// exactly one of: an empty-block early return (kernel's ZeroN unbatched,
+// the memo's Zero batched), a memo serve, or a kernel call that either hit
+// the table or fell back to Prior.LogML. So
+//
+//	hits = 3·Σsteps − zeroN − memoZero − memoHits − fallbacks
+//
+// and the table-hit path stays free of atomics. (The old derivation
+// 3·Σsteps − fallbacks silently credited empty-block early returns — calls
+// the table never served — as hits; TestKernelHitCounterExact pins the
+// fix.) Memo counters are summed over the per-worker caches; their split
+// between hit and miss depends on the worker count and block partition
+// (cache state is per worker), while every other metric here is
+// schedule-invariant.
+func recordSplitMetrics(reg *obs.Registry, steps []int, kern *score.Kernel, scratches []*scratch) {
 	if reg == nil {
 		return
 	}
@@ -375,9 +551,21 @@ func recordSplitMetrics(reg *obs.Registry, steps []int, kern *score.Kernel) {
 		hist.Observe(float64(s))
 		total += int64(s)
 	}
+	var memoHits, memoMisses, memoZero int64
+	for _, sc := range scratches {
+		if sc.memo != nil {
+			memoHits += sc.memo.Hits()
+			memoMisses += sc.memo.Misses()
+			memoZero += sc.memo.Zero()
+		}
+	}
 	misses := kern.Fallbacks()
-	reg.Counter("kernel_table_hits_total", "split-score kernel LogML calls served from the precomputed tables", "phase", PhaseAssign).Add(3*total - misses)
+	hits := 3*total - kern.ZeroN() - memoZero - memoHits - misses
+	reg.Counter("kernel_table_hits_total", "split-score kernel LogML calls served from the precomputed tables", "phase", PhaseAssign).Add(hits)
 	reg.Counter("kernel_table_misses_total", "split-score kernel LogML calls that fell back to direct Prior.LogML", "phase", PhaseAssign).Add(misses)
+	reg.Counter("kernel_memo_hits_total", "split-score logML calls served from the per-worker exact memo caches", "phase", PhaseAssign).Add(memoHits)
+	reg.Counter("kernel_memo_misses_total", "split-score logML memo lookups that went through to the kernel", "phase", PhaseAssign).Add(memoMisses)
+	reg.Counter("kernel_zero_blocks_total", "split-score logML calls on empty blocks (N == 0), answered 0 without a table or memo lookup", "phase", PhaseAssign).Add(kern.ZeroN() + memoZero)
 }
 
 // learn computes all posteriors (partitioned by evalRange) and performs the
@@ -441,7 +629,7 @@ func learn(q *score.QData, pr score.Prior, modules [][]int, trees [][]*tree.Tree
 	if h := par.Hooks; h != nil {
 		h.PoolCost(PhaseAssign, st)
 		h.WorkerImbalance(PhaseAssign, st)
-		recordSplitMetrics(h.Registry(), steps, kern)
+		recordSplitMetrics(h.Registry(), steps, kern, scratches)
 		if gatherCosts != nil {
 			var localCost float64
 			for _, c := range st.Cost {
